@@ -1,0 +1,173 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+// routing trial count, layout method, stale re-compilation, and
+// vendor-side scheduling policies. These report domain metrics
+// (swaps, CX counts, POS, queue minutes) via b.ReportMetric alongside
+// wall time.
+package qcloud_test
+
+import (
+	"testing"
+	"time"
+
+	"qcloud/internal/analysis"
+	"qcloud/internal/backend"
+	"qcloud/internal/circuit/gens"
+	"qcloud/internal/cloud"
+	"qcloud/internal/compile"
+	"qcloud/internal/sched"
+	"qcloud/internal/workload"
+)
+
+// BenchmarkAblationRoutingTrials measures how stochastic-swap trial
+// count trades compile time against inserted swaps.
+func BenchmarkAblationRoutingTrials(b *testing.B) {
+	m := backend.FleetByName()["ibmq_guadalupe"]
+	cal := m.CalibrationAt(time.Date(2021, 3, 1, 12, 0, 0, 0, time.UTC))
+	circ := gens.QFT(12)
+	for _, trials := range []int{1, 4, 8} {
+		trials := trials
+		b.Run(map[int]string{1: "trials=1", 4: "trials=4", 8: "trials=8"}[trials], func(b *testing.B) {
+			totalSwaps := 0
+			for i := 0; i < b.N; i++ {
+				res, err := compile.Compile(circ, m, cal, compile.Options{Seed: int64(i), RoutingTrials: trials})
+				if err != nil {
+					b.Fatal(err)
+				}
+				totalSwaps += res.SwapsInserted
+			}
+			b.ReportMetric(float64(totalSwaps)/float64(b.N), "swaps/op")
+		})
+	}
+}
+
+// BenchmarkAblationLayoutMethod compares the layout strategies by the
+// CX count of the compiled circuit (lower is better for fidelity).
+func BenchmarkAblationLayoutMethod(b *testing.B) {
+	m := backend.FleetByName()["ibmq_toronto"]
+	cal := m.CalibrationAt(time.Date(2021, 3, 1, 12, 0, 0, 0, time.UTC))
+	circ := gens.QFTBench(5)
+	cases := []struct {
+		name string
+		opts compile.Options
+	}{
+		{"csp+noise", compile.Options{}},
+		{"noise-only", compile.Options{SkipCSP: true}},
+		{"dense-only", compile.Options{SkipCSP: true}}, // nil cal below
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			calArg := cal
+			if c.name == "dense-only" {
+				calArg = nil
+			}
+			totalCX := 0
+			for i := 0; i < b.N; i++ {
+				opts := c.opts
+				opts.Seed = int64(i)
+				res, err := compile.Compile(circ, m, calArg, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				totalCX += res.Metrics.CXCount
+			}
+			b.ReportMetric(float64(totalCX)/float64(b.N), "cx/op")
+		})
+	}
+}
+
+// BenchmarkAblationStaleCompile quantifies the re-compilation payoff
+// (§V-E.2): fresh-vs-stale POS gap per run.
+func BenchmarkAblationStaleCompile(b *testing.B) {
+	m := backend.FleetByName()["ibmq_toronto"]
+	t0 := time.Date(2021, 3, 1, 15, 0, 0, 0, time.UTC)
+	for i := 0; i < b.N; i++ {
+		res, err := analysis.StaleCompilationPenalty(m, 4, 3, 4, 200, t0, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric((res.FreshPOS-res.StalePOS)*100, "POSgap%")
+	}
+}
+
+// BenchmarkAblationScheduler compares placement policies end to end:
+// realized mean queue minutes under each policy on a three-month
+// window.
+func BenchmarkAblationScheduler(b *testing.B) {
+	cfg := cloud.Config{
+		Seed:  3,
+		Start: time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC),
+		End:   time.Date(2021, 3, 1, 0, 0, 0, 0, time.UTC),
+	}
+	est, err := sched.BuildEstimator(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs := workload.Generate(workload.Config{
+		Seed: 3, TotalJobs: 500, Start: cfg.Start, End: cfg.End, GrowthPerMonth: 0.05,
+	})
+	policies := []sched.Policy{
+		sched.UserChoice{}, sched.LeastPending{}, sched.PredictedWait{}, sched.FidelityAware{},
+	}
+	for _, p := range policies {
+		p := p
+		b.Run(p.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sum, _, err := sched.Evaluate(cfg, specs, p, est)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(sum.MeanQueueMin, "queueMin")
+				b.ReportMetric(sum.MeanEstFidelity*100, "fid%")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMultiProgram measures the utilization gain and cost
+// of co-compiling two programs versus one.
+func BenchmarkAblationMultiProgram(b *testing.B) {
+	m := backend.FleetByName()["ibmq_16_melbourne"]
+	cal := m.CalibrationAt(time.Date(2021, 3, 1, 12, 0, 0, 0, time.UTC))
+	a, c := gens.GHZ(4), gens.QFTBench(4)
+	b.Run("single", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := compile.Compile(a, m, cal, compile.Options{Seed: int64(i)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(len(res.Circ.UsedQubits()))/float64(m.NumQubits())*100, "util%")
+		}
+	})
+	b.Run("multi", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := compile.MultiProgram(a, c, m, cal, compile.Options{Seed: int64(i)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.Utilization*100, "util%")
+		}
+	})
+}
+
+// BenchmarkAblationRouter compares the two routing algorithms on a
+// dense workload: swaps inserted and wall time per compile.
+func BenchmarkAblationRouter(b *testing.B) {
+	m := backend.FleetByName()["ibmq_16_melbourne"]
+	cal := m.CalibrationAt(time.Date(2021, 3, 1, 12, 0, 0, 0, time.UTC))
+	circ := gens.QFT(10)
+	for _, router := range []string{"stochastic", "sabre"} {
+		router := router
+		b.Run(router, func(b *testing.B) {
+			total := 0
+			for i := 0; i < b.N; i++ {
+				res, err := compile.Compile(circ, m, cal, compile.Options{Seed: int64(i), Router: router, SkipCSP: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += res.SwapsInserted
+			}
+			b.ReportMetric(float64(total)/float64(b.N), "swaps/op")
+		})
+	}
+}

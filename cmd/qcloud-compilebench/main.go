@@ -1,0 +1,54 @@
+// qcloud-compilebench runs the Fig 5 per-pass compile-time experiment
+// at configurable sizes: a small QFT against a real machine and a large
+// QFT against the fake 1000-qubit machine. The paper's full-size
+// instance is -small 64 -large 980; the default is scaled down so the
+// run finishes in seconds, with the same qualitative shape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"qcloud/internal/analysis"
+	"qcloud/internal/backend"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qcloud-compilebench: ")
+	var (
+		smallN  = flag.Int("small", 16, "small QFT width")
+		smallM  = flag.String("small-machine", "ibmq_20_tokyo", "machine for the small compile")
+		largeN  = flag.Int("large", 96, "large QFT width (paper: 980; hours of runtime)")
+		largeMQ = flag.Int("large-qubits", 1000, "fake machine size for the large compile")
+		seed    = flag.Int64("seed", 7, "seed for stochastic passes")
+	)
+	flag.Parse()
+
+	small, err := backend.FindMachine(backend.Fleet(), *smallM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	large := backend.Fake1000()
+	if *largeMQ != 1000 {
+		large = backend.CustomMachine(fmt.Sprintf("fake_%dq", *largeMQ), backend.HeavyHexLike(*largeMQ), 0)
+	}
+	fmt.Printf("small: qft%d -> %s (%dq)\n", *smallN, small.Name, small.NumQubits())
+	fmt.Printf("large: qft%d -> %s (%dq)\n", *largeN, large.Name, large.NumQubits())
+
+	costs, err := analysis.CompilePassProfile(*smallN, small, *largeN, large, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sort.Slice(costs, func(i, j int) bool { return costs[i].LargeSec > costs[j].LargeSec })
+	var ts, tl float64
+	fmt.Printf("%-34s %12s %12s %9s\n", "pass", "small (s)", "large (s)", "ratio")
+	for _, c := range costs {
+		fmt.Printf("%-34s %12.6f %12.6f %9.1f\n", c.Pass, c.SmallSec, c.LargeSec, c.LargeSec/(c.SmallSec+1e-12))
+		ts += c.SmallSec
+		tl += c.LargeSec
+	}
+	fmt.Printf("%-34s %12.6f %12.6f %9.1f\n", "TOTAL", ts, tl, tl/(ts+1e-12))
+}

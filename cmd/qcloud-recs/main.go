@@ -1,0 +1,171 @@
+// qcloud-recs evaluates the paper's actionable recommendations on the
+// simulated cloud: vendor-side scheduling (§IV-D.2), queue-time
+// prediction with confidence bounds (§V-E.1), re-compilation on
+// calibration change (§V-E.2), multi-programming (§IV-D.3), readout
+// mitigation, and verification assertions (recommendation 1).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"qcloud/internal/analysis"
+	"qcloud/internal/backend"
+	"qcloud/internal/circuit/gens"
+	"qcloud/internal/cloud"
+	"qcloud/internal/compile"
+	"qcloud/internal/pulse"
+	"qcloud/internal/qsim"
+	"qcloud/internal/sched"
+	"qcloud/internal/verify"
+	"qcloud/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qcloud-recs: ")
+	seed := flag.Int64("seed", 11, "experiment seed")
+	flag.Parse()
+
+	scheduling(*seed)
+	waitBounds(*seed)
+	staleness(*seed)
+	multiprogramming(*seed)
+	mitigation(*seed)
+	verification(*seed)
+}
+
+func section(title string) { fmt.Printf("\n== %s\n", title) }
+
+func scheduling(seed int64) {
+	section("Vendor-side placement (§IV-D.2) — 3-month replay per policy")
+	cfg := cloud.Config{
+		Seed:  seed,
+		Start: time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC),
+		End:   time.Date(2021, 4, 1, 0, 0, 0, 0, time.UTC),
+	}
+	est, err := sched.BuildEstimator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	specs := workload.Generate(workload.Config{
+		Seed: seed, TotalJobs: 900, Start: cfg.Start, End: cfg.End, GrowthPerMonth: 0.05,
+	})
+	fmt.Printf("  %-16s %12s %12s %10s\n", "policy", "medQ (min)", "meanQ (min)", "estFid")
+	for _, p := range []sched.Policy{
+		sched.UserChoice{}, sched.LeastPending{}, sched.PredictedWait{},
+		sched.FidelityAware{WaitPenaltyPerHour: 0.01},
+	} {
+		sum, _, err := sched.Evaluate(cfg, specs, p, est)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-16s %12.1f %12.1f %9.1f%%\n",
+			sum.Policy, sum.MedianQueueMin, sum.MeanQueueMin, sum.MeanEstFidelity*100)
+	}
+}
+
+func waitBounds(seed int64) {
+	section("Queue-time prediction with confidence bounds (§V-E.1)")
+	cfg := cloud.Config{
+		Seed:  seed + 1,
+		Start: time.Date(2021, 2, 1, 0, 0, 0, 0, time.UTC),
+		End:   time.Date(2021, 4, 1, 0, 0, 0, 0, time.UTC),
+	}
+	est, err := sched.BuildEstimator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	at := time.Date(2021, 3, 15, 16, 0, 0, 0, time.UTC)
+	for _, m := range []string{"ibmq_athens", "ibmq_santiago", "ibmq_toronto", "ibmq_rome"} {
+		b := est.EstimatedWaitBounds(m, at)
+		fmt.Printf("  %-18s pending=%-5d wait p10=%.0fm p50=%.0fm p90=%.0fm\n",
+			m, est.PendingAt(m, at), b.P10/60, b.P50/60, b.P90/60)
+	}
+}
+
+func staleness(seed int64) {
+	section("Re-compilation payoff (§V-E.2, Fig 12) — fresh vs 3-day-stale")
+	m := backend.FleetByName()["ibmq_toronto"]
+	t0 := time.Date(2021, 3, 1, 15, 0, 0, 0, time.UTC)
+	res, err := analysis.StaleCompilationPenalty(m, 4, 3, 10, 600, t0, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  4q QFT on %s over %d days: fresh POS %.1f%%, stale POS %.1f%% (gap %.1f points)\n",
+		m.Name, res.Days, res.FreshPOS*100, res.StalePOS*100, (res.FreshPOS-res.StalePOS)*100)
+	// Pulse-level staleness: schedule drift across a calibration.
+	cal0 := m.CalibrationAt(t0)
+	cal3 := m.CalibrationAt(t0.Add(72 * time.Hour))
+	cres, err := compile.Compile(gens.QFTBench(4), m, cal0, compile.Options{Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pen, err := pulse.StaleDurationPenalty(cres.Circ, cal0, cal3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  pulse-level: re-lowering under the new calibration moves the schedule makespan by %+.1f%%\n", pen*100)
+}
+
+func multiprogramming(seed int64) {
+	section("Multi-programming (§IV-D.3) — co-compiling two programs")
+	m := backend.FleetByName()["ibmq_16_melbourne"]
+	cal := m.CalibrationAt(time.Date(2021, 3, 1, 12, 0, 0, 0, time.UTC))
+	res, err := compile.MultiProgram(gens.GHZ(4), gens.QFTBench(4), m, cal, compile.Options{Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	single := float64(len(res.ResultA.Circ.UsedQubits())) / float64(m.NumQubits())
+	fmt.Printf("  %s: single-program utilization %.0f%% -> multi-program %.0f%% (one queue slot, two results)\n",
+		m.Name, single*100, res.Utilization*100)
+}
+
+func mitigation(seed int64) {
+	section("Readout-error mitigation — recovering POS after measurement noise")
+	m := backend.FleetByName()["ibmq_rome"]
+	cal := m.CalibrationAt(time.Date(2021, 3, 10, 12, 0, 0, 0, time.UTC))
+	res, err := compile.Compile(gens.QFTBench(3), m, cal, compile.Options{Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	compacted, origOf := qsim.Compact(res.Circ)
+	noise := qsim.NoiseFromCalibration(cal, 0).Remap(origOf)
+	counts, err := qsim.Run(compacted, 20000, noise, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	clbitQubit := make([]int, compacted.NClbits)
+	for _, g := range res.Circ.Gates {
+		if g.Op.String() == "measure" {
+			clbitQubit[g.Clbit] = g.Qubits[0]
+		}
+	}
+	mit, err := qsim.MitigatorFromCalibration(cal, clbitQubit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  3q QFT bench on %s: raw POS %.1f%% -> mitigated %.1f%%\n",
+		m.Name, counts.Prob("000")*100, mit.MitigatedProb(counts, "000")*100)
+}
+
+func verification(seed int64) {
+	section("Statistical assertions (recommendation 1) — catching a buggy circuit")
+	r := rand.New(rand.NewSource(seed))
+	good, err := qsim.Run(gens.GHZ(4), 4000, nil, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  GHZ(4) correct:  %s\n", verify.AssertEqualBits(good, 4, 0.01, 0.01))
+	// "Bug": a missing CX turns GHZ into a product state on one qubit.
+	buggy := gens.GHZ(4)
+	buggy.Gates = append(buggy.Gates[:2], buggy.Gates[3:]...) // drop one CX
+	bad, err := qsim.Run(buggy, 4000, nil, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  GHZ(4) with a dropped CX:  %s\n", verify.AssertEqualBits(bad, 4, 0.01, 0.01))
+}

@@ -1,0 +1,82 @@
+// qcloud-sim generates the two-year synthetic study trace: the
+// workload model produces the study's job stream, the cloud simulator
+// queues and executes it against the background load, and the result
+// is written as CSV (jobs) and/or JSON (jobs + machine queue samples).
+//
+// Usage:
+//
+//	qcloud-sim -seed 42 -jobs 6200 -csv trace.csv -json trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"qcloud/internal/cloud"
+	"qcloud/internal/trace"
+	"qcloud/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qcloud-sim: ")
+	var (
+		seed    = flag.Int64("seed", 42, "random seed; the same seed reproduces the trace byte for byte")
+		jobs    = flag.Int("jobs", 6200, "expected study job count")
+		csvPath = flag.String("csv", "", "write job records as CSV to this path")
+		jsPath  = flag.String("json", "", "write the full trace (jobs + machine stats) as JSON to this path")
+		quiet   = flag.Bool("q", false, "suppress the summary")
+	)
+	flag.Parse()
+
+	specs := workload.Generate(workload.Config{Seed: *seed, TotalJobs: *jobs})
+	tr, err := cloud.Simulate(cloud.Config{Seed: *seed}, specs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.WriteCSV(f, tr.Jobs); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *jsPath != "" {
+		f, err := os.Create(*jsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.WriteJSON(f, tr); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *quiet {
+		return
+	}
+	var circuits, trials int64
+	statuses := map[trace.Status]int{}
+	for _, j := range tr.Jobs {
+		circuits += int64(j.BatchSize)
+		trials += j.Trials()
+		statuses[j.Status]++
+	}
+	fmt.Printf("jobs:     %d\n", len(tr.Jobs))
+	fmt.Printf("circuits: %d\n", circuits)
+	fmt.Printf("trials:   %d\n", trials)
+	fmt.Printf("statuses: DONE=%d ERROR=%d CANCELLED=%d\n",
+		statuses[trace.StatusDone], statuses[trace.StatusError], statuses[trace.StatusCancelled])
+	if *csvPath == "" && *jsPath == "" {
+		fmt.Println("(no -csv/-json output requested; summary only)")
+	}
+}

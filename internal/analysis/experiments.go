@@ -1,0 +1,264 @@
+package analysis
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"qcloud/internal/backend"
+	"qcloud/internal/circuit"
+	"qcloud/internal/circuit/gens"
+	"qcloud/internal/compile"
+	"qcloud/internal/qsim"
+)
+
+// PassCost is one compiler pass's wall time at the small and large
+// problem size (Fig 5's paired bars).
+type PassCost struct {
+	Pass               string
+	SmallSec, LargeSec float64
+}
+
+// CompilePassProfile compiles a QFT of smallN qubits onto smallM and a
+// QFT of largeN onto largeM (nil largeM uses the fake 1000q machine),
+// returning cumulative per-pass wall times. The paper's instance is
+// (64q QFT -> 65q Manhattan) vs (980q QFT -> fake 1000q machine); that
+// full-size run takes hours exactly as the paper reports, so callers
+// may scale the large size down and extrapolate the trend.
+func CompilePassProfile(smallN int, smallM *backend.Machine, largeN int, largeM *backend.Machine, seed int64) ([]PassCost, error) {
+	if largeM == nil {
+		largeM = backend.Fake1000()
+	}
+	small, err := compile.Compile(gens.QFT(smallN), smallM, nil, compile.Options{Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("small compile: %w", err)
+	}
+	large, err := compile.Compile(gens.QFT(largeN), largeM, nil, compile.Options{Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("large compile: %w", err)
+	}
+	byName := make(map[string]*PassCost)
+	var order []string
+	add := func(timings []compile.PassTiming, large bool) {
+		for _, t := range timings {
+			pc, ok := byName[t.Name]
+			if !ok {
+				pc = &PassCost{Pass: t.Name}
+				byName[t.Name] = pc
+				order = append(order, t.Name)
+			}
+			if large {
+				pc.LargeSec += t.Seconds
+			} else {
+				pc.SmallSec += t.Seconds
+			}
+		}
+	}
+	add(small.Timings, false)
+	add(large.Timings, true)
+	out := make([]PassCost, 0, len(order))
+	for _, name := range order {
+		out = append(out, *byName[name])
+	}
+	return out, nil
+}
+
+// BisectionRow is one machine's Fig 6 entry.
+type BisectionRow struct {
+	Machine            string
+	Qubits             int
+	BisectionBandwidth int
+}
+
+// BisectionTable computes qubits vs bisection bandwidth across the
+// fleet (Fig 6), skipping the simulator pseudo-backend.
+func BisectionTable(machines []*backend.Machine) []BisectionRow {
+	var rows []BisectionRow
+	for _, m := range machines {
+		if m.Simulator {
+			continue
+		}
+		rows = append(rows, BisectionRow{
+			Machine:            m.Name,
+			Qubits:             m.NumQubits(),
+			BisectionBandwidth: m.Topo.BisectionBandwidth(),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Qubits != rows[j].Qubits {
+			return rows[i].Qubits < rows[j].Qubits
+		}
+		return rows[i].Machine < rows[j].Machine
+	})
+	return rows
+}
+
+// FidelityRow is one machine's Fig 7 entry: measured probability of
+// success of the 4q QFT benchmark next to its compile-time CX metrics.
+type FidelityRow struct {
+	Machine string
+	Qubits  int
+	// POS is the trajectory-simulated probability of success (%).
+	POS float64
+	// CXDepth and CXTotal are the compiled circuit's CX metrics.
+	CXDepth, CXTotal int
+	// CXDepthErr / CXTotalErr are the metrics scaled by the mean CX
+	// error of the qubits the circuit uses (the paper's "CX-D * CX-Err"
+	// and "CX-T * CX-Err", in percent).
+	CXDepthErr, CXTotalErr float64
+}
+
+// FidelityVsCXMetrics compiles the n-qubit QFT POS benchmark onto each
+// machine under its calibration at time at, runs the noisy trajectory
+// simulation, and reports POS alongside the CX metrics (Fig 7; the
+// paper uses casablanca, toronto, guadalupe, rome and manhattan).
+func FidelityVsCXMetrics(machines []*backend.Machine, n, shots int, at time.Time, seed int64) ([]FidelityRow, error) {
+	var rows []FidelityRow
+	for _, m := range machines {
+		cal := m.CalibrationAt(at)
+		res, err := compile.Compile(gens.QFTBench(n), m, cal, compile.Options{Seed: seed})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", m.Name, err)
+		}
+		compacted, origOf := qsim.Compact(res.Circ)
+		noise := qsim.NoiseFromCalibration(cal, 0).Remap(origOf)
+		r := rand.New(rand.NewSource(seed + m.Seed))
+		pos, err := qsim.ProbabilityOfSuccess(compacted, strings.Repeat("0", n), shots, noise, r)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", m.Name, err)
+		}
+		// Mean CX error over the couplers the compiled circuit uses.
+		errSum, errN := 0.0, 0
+		for _, g := range res.Circ.Gates {
+			if g.Op.IsTwoQubit() {
+				errSum += cal.CXError(g.Qubits[0], g.Qubits[1], cal.MeanCXError())
+				errN++
+			}
+		}
+		meanErr := 0.0
+		if errN > 0 {
+			meanErr = errSum / float64(errN)
+		}
+		rows = append(rows, FidelityRow{
+			Machine: m.Name, Qubits: m.NumQubits(),
+			POS:        pos * 100,
+			CXDepth:    res.Metrics.CXDepth,
+			CXTotal:    res.Metrics.CXCount,
+			CXDepthErr: float64(res.Metrics.CXDepth) * meanErr * 100,
+			CXTotalErr: float64(res.Metrics.CXCount) * meanErr * 100,
+		})
+	}
+	return rows, nil
+}
+
+// LayoutDivergence re-compiles the same circuit with the
+// noise-adaptive layout across consecutive calibration epochs and
+// reports how often the chosen mapping changes (Fig 12b: stale
+// compilations bind to qubit assignments that are no longer optimal).
+type LayoutDivergence struct {
+	// ChangedFraction is the fraction of consecutive epoch pairs whose
+	// layouts differ.
+	ChangedFraction float64
+	// Layouts holds the logical->physical mapping per epoch.
+	Layouts [][]int
+}
+
+// LayoutDivergenceOf measures layout churn for circuit c on machine m
+// over the given number of consecutive calibration days starting at t0.
+func LayoutDivergenceOf(c *circuit.Circuit, m *backend.Machine, t0 time.Time, days int, seed int64) (*LayoutDivergence, error) {
+	if days < 2 {
+		return nil, fmt.Errorf("analysis: need at least 2 days, got %d", days)
+	}
+	out := &LayoutDivergence{}
+	changed := 0
+	for d := 0; d < days; d++ {
+		cal := m.CalibrationAt(t0.Add(time.Duration(d) * 24 * time.Hour))
+		res, err := compile.Compile(c, m, cal, compile.Options{Seed: seed, SkipCSP: true})
+		if err != nil {
+			return nil, err
+		}
+		out.Layouts = append(out.Layouts, res.Layout)
+		if d > 0 && !equalLayouts(out.Layouts[d-1], out.Layouts[d]) {
+			changed++
+		}
+	}
+	out.ChangedFraction = float64(changed) / float64(days-1)
+	return out, nil
+}
+
+func equalLayouts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// StalenessResult quantifies the §V-E.2 / Fig 12 recommendation: how
+// much fidelity a job loses by executing a compilation made against an
+// older calibration cycle, versus re-compiling fresh.
+type StalenessResult struct {
+	// FreshPOS / StalePOS are mean probabilities of success across the
+	// sampled days.
+	FreshPOS, StalePOS float64
+	// Days is the number of calibration days sampled.
+	Days int
+}
+
+// StaleCompilationPenalty compiles the n-qubit QFT benchmark twice for
+// each sampled day d: once against day d's calibration (fresh) and once
+// against day d-staleDays' calibration (stale); both are executed under
+// day d's noise. The gap is the fidelity cost of calibration
+// crossovers, the quantity motivating dynamic re-compilation.
+func StaleCompilationPenalty(m *backend.Machine, n, staleDays, days, shots int, t0 time.Time, seed int64) (*StalenessResult, error) {
+	if days < 1 || staleDays < 1 {
+		return nil, fmt.Errorf("analysis: need days >= 1 and staleDays >= 1")
+	}
+	bench := gens.QFTBench(n)
+	expected := strings.Repeat("0", n)
+	var freshSum, staleSum float64
+	for d := 0; d < days; d++ {
+		execAt := t0.Add(time.Duration(d) * 24 * time.Hour)
+		calNow := m.CalibrationAt(execAt)
+		calOld := m.CalibrationAt(execAt.Add(-time.Duration(staleDays) * 24 * time.Hour))
+		staleHours := float64(staleDays) * 24
+
+		fresh, err := compile.Compile(bench, m, calNow, compile.Options{Seed: seed, SkipCSP: true})
+		if err != nil {
+			return nil, err
+		}
+		stale, err := compile.Compile(bench, m, calOld, compile.Options{Seed: seed, SkipCSP: true})
+		if err != nil {
+			return nil, err
+		}
+		// Both run under *today's* noise; the stale compilation also
+		// suffers drift relative to its pulse-era calibration.
+		fc, fm := qsim.Compact(fresh.Circ)
+		sc, sm := qsim.Compact(stale.Circ)
+		freshNoise := qsim.NoiseFromCalibration(calNow, 0).Remap(fm)
+		staleNoise := qsim.NoiseFromCalibration(calNow, staleHours).Remap(sm)
+		r1 := rand.New(rand.NewSource(seed + int64(d)*17))
+		r2 := rand.New(rand.NewSource(seed + int64(d)*17 + 1))
+		fp, err := qsim.ProbabilityOfSuccess(fc, expected, shots, freshNoise, r1)
+		if err != nil {
+			return nil, err
+		}
+		sp, err := qsim.ProbabilityOfSuccess(sc, expected, shots, staleNoise, r2)
+		if err != nil {
+			return nil, err
+		}
+		freshSum += fp
+		staleSum += sp
+	}
+	return &StalenessResult{
+		FreshPOS: freshSum / float64(days),
+		StalePOS: staleSum / float64(days),
+		Days:     days,
+	}, nil
+}

@@ -1,0 +1,170 @@
+package backend
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFleetComposition(t *testing.T) {
+	fleet := Fleet()
+	if len(fleet) < 25 {
+		t.Fatalf("fleet size = %d, want >= 25 (paper: '25 different quantum machines')", len(fleet))
+	}
+	byName := FleetByName()
+	// Spot-check the sizes the paper states.
+	checks := map[string]int{
+		"ibmq_armonk":       1,
+		"ibmq_athens":       5,
+		"ibmq_casablanca":   7,
+		"ibmq_16_melbourne": 15,
+		"ibmq_guadalupe":    16,
+		"ibmq_20_tokyo":     20,
+		"ibmq_toronto":      27,
+		"ibmq_rochester":    53,
+		"ibmq_manhattan":    65,
+	}
+	for name, want := range checks {
+		m, ok := byName[name]
+		if !ok {
+			t.Fatalf("missing machine %s", name)
+		}
+		if m.NumQubits() != want {
+			t.Fatalf("%s qubits = %d, want %d", name, m.NumQubits(), want)
+		}
+	}
+	for _, m := range fleet {
+		if !m.Topo.IsConnected() {
+			t.Fatalf("%s has disconnected topology", m.Name)
+		}
+		if m.Popularity <= 0 {
+			t.Fatalf("%s popularity must be positive", m.Name)
+		}
+	}
+}
+
+func TestFleetQubitRangeMatchesPaper(t *testing.T) {
+	// "Our study encompasses 25 different quantum machines with qubits
+	// ranging from 1 to 65."
+	min, max := 1<<30, 0
+	for _, m := range Fleet() {
+		if m.Simulator {
+			continue
+		}
+		if n := m.NumQubits(); n < min {
+			min = n
+		} else if n > max {
+			max = n
+		}
+		if n := m.NumQubits(); n > max {
+			max = n
+		}
+	}
+	if min != 1 || max != 65 {
+		t.Fatalf("hardware qubit range = [%d,%d], want [1,65]", min, max)
+	}
+}
+
+func TestAvailability(t *testing.T) {
+	byName := FleetByName()
+	tokyo := byName["ibmq_20_tokyo"]
+	if tokyo.AvailableAt(date(2020, 6, 1)) {
+		t.Fatal("tokyo retired in 2019")
+	}
+	if !tokyo.AvailableAt(date(2019, 3, 1)) {
+		t.Fatal("tokyo online early 2019")
+	}
+	manhattan := byName["ibmq_manhattan"]
+	if manhattan.AvailableAt(date(2019, 6, 1)) {
+		t.Fatal("manhattan not online in 2019")
+	}
+	if !manhattan.AvailableAt(date(2021, 3, 1)) {
+		t.Fatal("manhattan online in 2021")
+	}
+}
+
+func TestCalibrationEpochAdvancesDaily(t *testing.T) {
+	m := FleetByName()["ibmq_athens"]
+	e1 := m.CalibrationEpochAt(date(2020, 6, 1).Add(2 * time.Hour))
+	e2 := m.CalibrationEpochAt(date(2020, 6, 2).Add(2 * time.Hour))
+	if e2 != e1+1 {
+		t.Fatalf("epochs %d -> %d, want +1 per day", e1, e2)
+	}
+	// Before and after the 01:00 calibration boundary differ.
+	before := m.CalibrationEpochAt(date(2020, 6, 2)) // 00:00
+	after := m.CalibrationEpochAt(date(2020, 6, 2).Add(90 * time.Minute))
+	if after != before+1 {
+		t.Fatalf("boundary: %d -> %d, want +1 across 01:00", before, after)
+	}
+}
+
+func TestCalibrationAtMemoized(t *testing.T) {
+	m := FleetByName()["ibmq_rome"]
+	at := date(2020, 7, 1).Add(10 * time.Hour)
+	c1 := m.CalibrationAt(at)
+	c2 := m.CalibrationAt(at.Add(time.Hour))
+	if c1 != c2 {
+		t.Fatal("same epoch should return the memoized snapshot")
+	}
+	c3 := m.CalibrationAt(at.Add(24 * time.Hour))
+	if c1 == c3 {
+		t.Fatal("next day should be a new calibration")
+	}
+}
+
+func TestExecSecondsModel(t *testing.T) {
+	m := FleetByName()["ibmq_manhattan"]
+	small := m.ExecSeconds(1, 1024, 50)
+	big := m.ExecSeconds(900, 1024, 50*900)
+	if big <= small {
+		t.Fatal("runtime must grow with batch size")
+	}
+	// Proportionality: doubling batch roughly doubles the variable part.
+	b1 := m.ExecSeconds(100, 8192, 100*40) - m.JobOverheadSec
+	b2 := m.ExecSeconds(200, 8192, 200*40) - m.JobOverheadSec
+	if b2 < 1.8*b1 || b2 > 2.2*b1 {
+		t.Fatalf("batch scaling not proportional: %v -> %v", b1, b2)
+	}
+	if m.ExecSeconds(0, 100, 0) != 0 {
+		t.Fatal("zero batch should cost nothing")
+	}
+}
+
+func TestExecSecondsLargerMachinesSlower(t *testing.T) {
+	byName := FleetByName()
+	vigo := byName["ibmq_vigo"].ExecSeconds(100, 4096, 100*20)
+	manhattan := byName["ibmq_manhattan"].ExecSeconds(100, 4096, 100*20)
+	if manhattan <= vigo {
+		t.Fatal("Fig 13 shape: larger machines have higher run times")
+	}
+}
+
+func TestFindMachine(t *testing.T) {
+	fleet := Fleet()
+	m, err := FindMachine(fleet, "ibmq_bogota")
+	if err != nil || m.Name != "ibmq_bogota" {
+		t.Fatalf("FindMachine failed: %v", err)
+	}
+	if _, err := FindMachine(fleet, "nope"); err == nil {
+		t.Fatal("unknown machine should error")
+	}
+}
+
+func TestFake1000(t *testing.T) {
+	m := Fake1000()
+	if m.NumQubits() != 1000 {
+		t.Fatalf("fake machine qubits = %d", m.NumQubits())
+	}
+	if !m.Topo.IsConnected() {
+		t.Fatal("fake 1000q should be connected")
+	}
+}
+
+func TestSimulatorInFleet(t *testing.T) {
+	sim := FleetByName()["ibmq_qasm_simulator"]
+	if sim == nil || !sim.Simulator {
+		t.Fatal("fleet must include the qasm simulator")
+	}
+	if sim.ShotMicros >= 100 {
+		t.Fatal("simulator should be far cheaper per shot")
+	}
+}

@@ -1,0 +1,186 @@
+package circuit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Circuit is an ordered list of gates over a fixed-size qubit register
+// and classical register. The zero value is unusable; construct with New.
+type Circuit struct {
+	// Name labels the circuit in traces and reports (e.g. "qft4").
+	Name string
+	// NQubits is the register size — the paper's "width": the number of
+	// qubits the circuit requires.
+	NQubits int
+	// NClbits is the classical register size.
+	NClbits int
+	// Gates is the instruction list, in program order.
+	Gates []Gate
+}
+
+// New returns an empty circuit over n qubits and n classical bits.
+func New(name string, n int) *Circuit {
+	if n < 0 {
+		panic(fmt.Sprintf("circuit: negative qubit count %d", n))
+	}
+	return &Circuit{Name: name, NQubits: n, NClbits: n}
+}
+
+// Clone returns a deep copy of the circuit.
+func (c *Circuit) Clone() *Circuit {
+	out := &Circuit{Name: c.Name, NQubits: c.NQubits, NClbits: c.NClbits}
+	out.Gates = make([]Gate, len(c.Gates))
+	for i, g := range c.Gates {
+		out.Gates[i] = g.Clone()
+	}
+	return out
+}
+
+// Append adds a gate after validating operand counts and ranges.
+func (c *Circuit) Append(g Gate) error {
+	if want := g.Op.NumQubits(); want >= 0 && len(g.Qubits) != want {
+		return fmt.Errorf("circuit: %s takes %d qubits, got %d", g.Op, want, len(g.Qubits))
+	}
+	if want := g.Op.NumParams(); len(g.Params) != want {
+		return fmt.Errorf("circuit: %s takes %d params, got %d", g.Op, want, len(g.Params))
+	}
+	seen := make(map[int]bool, len(g.Qubits))
+	for _, q := range g.Qubits {
+		if q < 0 || q >= c.NQubits {
+			return fmt.Errorf("circuit: qubit %d out of range [0,%d)", q, c.NQubits)
+		}
+		if seen[q] {
+			return fmt.Errorf("circuit: duplicate qubit operand %d in %s", q, g.Op)
+		}
+		seen[q] = true
+	}
+	if g.Op == OpMeasure && (g.Clbit < 0 || g.Clbit >= c.NClbits) {
+		return fmt.Errorf("circuit: clbit %d out of range [0,%d)", g.Clbit, c.NClbits)
+	}
+	c.Gates = append(c.Gates, g)
+	return nil
+}
+
+// mustAppend is the internal builder used by the fluent gate helpers,
+// which are only called with compile-time-correct shapes.
+func (c *Circuit) mustAppend(g Gate) *Circuit {
+	if err := c.Append(g); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Fluent builder helpers. Each appends one gate and returns the circuit.
+
+// I appends an identity gate.
+func (c *Circuit) I(q int) *Circuit { return c.mustAppend(NewGate(OpI, []int{q})) }
+
+// X appends a Pauli-X gate.
+func (c *Circuit) X(q int) *Circuit { return c.mustAppend(NewGate(OpX, []int{q})) }
+
+// Y appends a Pauli-Y gate.
+func (c *Circuit) Y(q int) *Circuit { return c.mustAppend(NewGate(OpY, []int{q})) }
+
+// Z appends a Pauli-Z gate.
+func (c *Circuit) Z(q int) *Circuit { return c.mustAppend(NewGate(OpZ, []int{q})) }
+
+// H appends a Hadamard gate.
+func (c *Circuit) H(q int) *Circuit { return c.mustAppend(NewGate(OpH, []int{q})) }
+
+// S appends a phase gate.
+func (c *Circuit) S(q int) *Circuit { return c.mustAppend(NewGate(OpS, []int{q})) }
+
+// Sdg appends the adjoint phase gate.
+func (c *Circuit) Sdg(q int) *Circuit { return c.mustAppend(NewGate(OpSdg, []int{q})) }
+
+// T appends a T gate.
+func (c *Circuit) T(q int) *Circuit { return c.mustAppend(NewGate(OpT, []int{q})) }
+
+// Tdg appends the adjoint T gate.
+func (c *Circuit) Tdg(q int) *Circuit { return c.mustAppend(NewGate(OpTdg, []int{q})) }
+
+// SX appends a sqrt-X gate.
+func (c *Circuit) SX(q int) *Circuit { return c.mustAppend(NewGate(OpSX, []int{q})) }
+
+// RX appends an X rotation.
+func (c *Circuit) RX(q int, theta float64) *Circuit {
+	return c.mustAppend(NewGate(OpRX, []int{q}, theta))
+}
+
+// RY appends a Y rotation.
+func (c *Circuit) RY(q int, theta float64) *Circuit {
+	return c.mustAppend(NewGate(OpRY, []int{q}, theta))
+}
+
+// RZ appends a Z rotation.
+func (c *Circuit) RZ(q int, theta float64) *Circuit {
+	return c.mustAppend(NewGate(OpRZ, []int{q}, theta))
+}
+
+// U appends a generic single-qubit rotation U(theta, phi, lambda).
+func (c *Circuit) U(q int, theta, phi, lambda float64) *Circuit {
+	return c.mustAppend(NewGate(OpU, []int{q}, theta, phi, lambda))
+}
+
+// CX appends a controlled-X (CNOT) gate.
+func (c *Circuit) CX(ctrl, tgt int) *Circuit {
+	return c.mustAppend(NewGate(OpCX, []int{ctrl, tgt}))
+}
+
+// CZ appends a controlled-Z gate.
+func (c *Circuit) CZ(a, b int) *Circuit { return c.mustAppend(NewGate(OpCZ, []int{a, b})) }
+
+// CPhase appends a controlled phase rotation.
+func (c *Circuit) CPhase(ctrl, tgt int, theta float64) *Circuit {
+	return c.mustAppend(NewGate(OpCPhase, []int{ctrl, tgt}, theta))
+}
+
+// SWAP appends a SWAP gate.
+func (c *Circuit) SWAP(a, b int) *Circuit { return c.mustAppend(NewGate(OpSWAP, []int{a, b})) }
+
+// CCX appends a Toffoli gate.
+func (c *Circuit) CCX(c1, c2, tgt int) *Circuit {
+	return c.mustAppend(NewGate(OpCCX, []int{c1, c2, tgt}))
+}
+
+// Measure appends a measurement of qubit q into classical bit cl.
+func (c *Circuit) Measure(q, cl int) *Circuit {
+	g := NewGate(OpMeasure, []int{q})
+	g.Clbit = cl
+	return c.mustAppend(g)
+}
+
+// MeasureAll measures every qubit into its same-index classical bit.
+func (c *Circuit) MeasureAll() *Circuit {
+	for q := 0; q < c.NQubits; q++ {
+		c.Measure(q, q)
+	}
+	return c
+}
+
+// Reset appends a reset of qubit q to |0>.
+func (c *Circuit) Reset(q int) *Circuit { return c.mustAppend(NewGate(OpReset, []int{q})) }
+
+// Barrier appends a barrier over the given qubits (all qubits if none).
+func (c *Circuit) Barrier(qs ...int) *Circuit {
+	if len(qs) == 0 {
+		qs = make([]int, c.NQubits)
+		for i := range qs {
+			qs[i] = i
+		}
+	}
+	return c.mustAppend(Gate{Op: OpBarrier, Qubits: qs, Clbit: -1})
+}
+
+// String renders the circuit as QASM-like text, one gate per line.
+func (c *Circuit) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// %s: %d qubits, %d gates\n", c.Name, c.NQubits, len(c.Gates))
+	fmt.Fprintf(&b, "qreg q[%d];\ncreg c[%d];\n", c.NQubits, c.NClbits)
+	for _, g := range c.Gates {
+		b.WriteString(g.String())
+		b.WriteString(";\n")
+	}
+	return b.String()
+}

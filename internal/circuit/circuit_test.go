@@ -1,0 +1,180 @@
+package circuit
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAppendValidation(t *testing.T) {
+	c := New("t", 2)
+	if err := c.Append(NewGate(OpCX, []int{0})); err == nil {
+		t.Fatal("wrong operand count should fail")
+	}
+	if err := c.Append(NewGate(OpCX, []int{0, 2})); err == nil {
+		t.Fatal("out-of-range qubit should fail")
+	}
+	if err := c.Append(NewGate(OpCX, []int{1, 1})); err == nil {
+		t.Fatal("duplicate operand should fail")
+	}
+	if err := c.Append(NewGate(OpRZ, []int{0})); err == nil {
+		t.Fatal("missing param should fail")
+	}
+	g := NewGate(OpMeasure, []int{0})
+	g.Clbit = 5
+	if err := c.Append(g); err == nil {
+		t.Fatal("out-of-range clbit should fail")
+	}
+	if err := c.Append(NewGate(OpCX, []int{0, 1})); err != nil {
+		t.Fatalf("valid gate rejected: %v", err)
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New("bad", -1)
+}
+
+func TestFluentBuilders(t *testing.T) {
+	c := New("all", 3)
+	c.I(0).X(0).Y(0).Z(0).H(0).S(0).Sdg(0).T(0).Tdg(0).SX(0)
+	c.RX(1, 0.1).RY(1, 0.2).RZ(1, 0.3).U(1, 0.1, 0.2, 0.3)
+	c.CX(0, 1).CZ(1, 2).CPhase(0, 2, math.Pi/4).SWAP(0, 2).CCX(0, 1, 2)
+	c.Reset(0).Barrier().Measure(0, 0)
+	if len(c.Gates) != 22 {
+		t.Fatalf("gate count = %d, want 22", len(c.Gates))
+	}
+}
+
+func TestDepthSerialVsParallel(t *testing.T) {
+	serial := New("serial", 1)
+	serial.H(0).H(0).H(0)
+	if d := serial.Depth(); d != 3 {
+		t.Fatalf("serial depth = %d, want 3", d)
+	}
+	parallel := New("parallel", 3)
+	parallel.H(0).H(1).H(2)
+	if d := parallel.Depth(); d != 1 {
+		t.Fatalf("parallel depth = %d, want 1", d)
+	}
+}
+
+func TestDepthTwoQubitChain(t *testing.T) {
+	c := New("chain", 3)
+	c.CX(0, 1).CX(1, 2).CX(0, 1)
+	if d := c.Depth(); d != 3 {
+		t.Fatalf("chain depth = %d, want 3", d)
+	}
+}
+
+func TestCXMetrics(t *testing.T) {
+	c := New("m", 4)
+	c.H(0)
+	c.CX(0, 1)
+	c.CX(2, 3) // parallel with the first CX
+	c.CX(1, 2) // depends on both
+	m := ComputeMetrics(c)
+	if m.CXCount != 3 {
+		t.Fatalf("CXCount = %d, want 3", m.CXCount)
+	}
+	if m.CXDepth != 2 {
+		t.Fatalf("CXDepth = %d, want 2", m.CXDepth)
+	}
+	if m.Width != 4 {
+		t.Fatalf("Width = %d", m.Width)
+	}
+	if m.GateOps != 4 {
+		t.Fatalf("GateOps = %d, want 4", m.GateOps)
+	}
+}
+
+func TestCXDepthIgnoresOneQubitGates(t *testing.T) {
+	c := New("m", 2)
+	c.H(0).H(0).H(0).CX(0, 1)
+	m := ComputeMetrics(c)
+	if m.CXDepth != 1 {
+		t.Fatalf("CXDepth = %d, want 1", m.CXDepth)
+	}
+	if m.Depth != 4 {
+		t.Fatalf("Depth = %d, want 4", m.Depth)
+	}
+}
+
+func TestBarrierSynchronizesButAddsNoDepth(t *testing.T) {
+	c := New("b", 2)
+	c.H(0).Barrier().H(1)
+	// The barrier forces H(1) to start after H(0) finishes: depth 2.
+	if d := c.Depth(); d != 2 {
+		t.Fatalf("depth with barrier = %d, want 2", d)
+	}
+	noB := New("nb", 2)
+	noB.H(0).H(1)
+	if d := noB.Depth(); d != 1 {
+		t.Fatalf("depth without barrier = %d, want 1", d)
+	}
+}
+
+func TestGateCountsExcludeBarrier(t *testing.T) {
+	c := New("gc", 2)
+	c.H(0).H(1).CX(0, 1).Barrier()
+	counts := c.GateCounts()
+	if counts["h"] != 2 || counts["cx"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if _, ok := counts["barrier"]; ok {
+		t.Fatal("barrier should be excluded")
+	}
+}
+
+func TestUsedQubits(t *testing.T) {
+	c := New("u", 5)
+	c.H(1).CX(1, 3)
+	got := c.UsedQubits()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("UsedQubits = %v, want [1 3]", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := New("orig", 2)
+	c.RZ(0, 1.5).CX(0, 1)
+	d := c.Clone()
+	d.Gates[0].Params[0] = 99
+	d.Gates[1].Qubits[0] = 1
+	if c.Gates[0].Params[0] != 1.5 || c.Gates[1].Qubits[0] != 0 {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	c := New("str", 2)
+	c.RZ(0, 0.5).CX(0, 1).Measure(1, 1)
+	s := c.String()
+	for _, want := range []string{"qreg q[2]", "rz(0.5) q[0];", "cx q[0], q[1];", "measure q[1] -> c[1];"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestOpProperties(t *testing.T) {
+	if !OpCX.IsTwoQubit() || OpH.IsTwoQubit() || OpCCX.IsTwoQubit() {
+		t.Fatal("IsTwoQubit misclassifies")
+	}
+	if OpMeasure.IsUnitary() || OpBarrier.IsUnitary() || !OpRZ.IsUnitary() {
+		t.Fatal("IsUnitary misclassifies")
+	}
+	if OpBarrier.NumQubits() != -1 {
+		t.Fatal("barrier should be variadic")
+	}
+	if OpU.NumParams() != 3 || OpCPhase.NumParams() != 1 {
+		t.Fatal("NumParams wrong")
+	}
+	if OpCX.String() != "cx" || Op(200).String() == "" {
+		t.Fatal("String misbehaves")
+	}
+}

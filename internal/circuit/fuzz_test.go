@@ -1,0 +1,37 @@
+package circuit
+
+import (
+	"testing"
+)
+
+// FuzzParse checks the parser never panics and that successfully parsed
+// circuits reach a print/parse fixed point.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"qreg q[2];\ncreg c[2];\nh q[0];\ncx q[0], q[1];\nmeasure q[0] -> c[0];\n",
+		"qreg q[1];\nrz(0.5) q[0];\n",
+		"qreg q[3];\nccx q[0], q[1], q[2];\nbarrier q[0], q[1];\n",
+		"OPENQASM 2.0;\nqreg q[1];\nu(0.1, 0.2, 0.3) q[0];\n",
+		"// name: test\nqreg q[2];\nswap q[0], q[1];\n",
+		"qreg q[0];\n",
+		"qreg q[2];\nh q[5];\n",
+		"garbage",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseString(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		printed := c.String()
+		c2, err := ParseString(printed)
+		if err != nil {
+			t.Fatalf("reparse of printed form failed: %v\n%s", err, printed)
+		}
+		if got := c2.String(); got != printed {
+			t.Fatalf("print/parse not a fixed point:\n%s\nvs\n%s", printed, got)
+		}
+	})
+}

@@ -1,0 +1,152 @@
+// Package circuit defines the quantum-circuit intermediate representation
+// used across qcloud: gates, circuits, and the structural metrics the
+// paper's analyses depend on (width, depth, CX-depth, CX-count, total
+// gate operations).
+//
+// The gate set mirrors the subset of OpenQASM 2 that IBM backends expose,
+// plus CCX so that three-qubit decomposition ("Unroll3qOrMore" in the
+// paper's Fig 5 pass list) has something to do.
+package circuit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op identifies a gate operation.
+type Op uint8
+
+// Supported operations. OpU is the generic single-qubit rotation
+// U(θ,φ,λ); OpCPhase is the controlled phase rotation QFT is built from.
+const (
+	OpI Op = iota
+	OpX
+	OpY
+	OpZ
+	OpH
+	OpS
+	OpSdg
+	OpT
+	OpTdg
+	OpSX
+	OpRX
+	OpRY
+	OpRZ
+	OpU
+	OpCX
+	OpCZ
+	OpCPhase
+	OpSWAP
+	OpCCX
+	OpMeasure
+	OpReset
+	OpBarrier
+)
+
+var opNames = [...]string{
+	OpI: "id", OpX: "x", OpY: "y", OpZ: "z", OpH: "h",
+	OpS: "s", OpSdg: "sdg", OpT: "t", OpTdg: "tdg", OpSX: "sx",
+	OpRX: "rx", OpRY: "ry", OpRZ: "rz", OpU: "u",
+	OpCX: "cx", OpCZ: "cz", OpCPhase: "cp", OpSWAP: "swap", OpCCX: "ccx",
+	OpMeasure: "measure", OpReset: "reset", OpBarrier: "barrier",
+}
+
+// String returns the lowercase QASM-style mnemonic for the op.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// NumQubits returns how many qubit operands the op takes. Barrier is
+// variadic and returns -1.
+func (o Op) NumQubits() int {
+	switch o {
+	case OpCX, OpCZ, OpCPhase, OpSWAP:
+		return 2
+	case OpCCX:
+		return 3
+	case OpBarrier:
+		return -1
+	default:
+		return 1
+	}
+}
+
+// NumParams returns how many angle parameters the op takes.
+func (o Op) NumParams() int {
+	switch o {
+	case OpRX, OpRY, OpRZ, OpCPhase:
+		return 1
+	case OpU:
+		return 3
+	default:
+		return 0
+	}
+}
+
+// IsTwoQubit reports whether the op acts on exactly two qubits. The
+// paper's fidelity analysis (Fig 7) is built on counting these.
+func (o Op) IsTwoQubit() bool { return o.NumQubits() == 2 }
+
+// IsUnitary reports whether the op is a unitary gate (as opposed to
+// measurement, reset, or barrier).
+func (o Op) IsUnitary() bool {
+	switch o {
+	case OpMeasure, OpReset, OpBarrier:
+		return false
+	default:
+		return true
+	}
+}
+
+// Gate is one instruction in a circuit. Qubits are indices into the
+// circuit's qubit register; Params are rotation angles in radians; Clbit
+// is the classical target of a measurement (-1 otherwise).
+type Gate struct {
+	Op     Op
+	Qubits []int
+	Params []float64
+	Clbit  int
+}
+
+// NewGate builds a gate with Clbit unset.
+func NewGate(op Op, qubits []int, params ...float64) Gate {
+	return Gate{Op: op, Qubits: qubits, Params: params, Clbit: -1}
+}
+
+// Clone returns a deep copy of g.
+func (g Gate) Clone() Gate {
+	c := g
+	c.Qubits = append([]int(nil), g.Qubits...)
+	c.Params = append([]float64(nil), g.Params...)
+	return c
+}
+
+// String renders the gate in QASM-like form, e.g. "cx q[0], q[1]".
+func (g Gate) String() string {
+	var b strings.Builder
+	b.WriteString(g.Op.String())
+	if len(g.Params) > 0 {
+		b.WriteByte('(')
+		for i, p := range g.Params {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%.10g", p)
+		}
+		b.WriteByte(')')
+	}
+	b.WriteByte(' ')
+	for i, q := range g.Qubits {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "q[%d]", q)
+	}
+	if g.Op == OpMeasure && g.Clbit >= 0 {
+		fmt.Fprintf(&b, " -> c[%d]", g.Clbit)
+	}
+	return b.String()
+}

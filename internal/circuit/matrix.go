@@ -1,0 +1,117 @@
+package circuit
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Mat2 is a dense 2x2 complex matrix in row-major order: the shared
+// currency of the compiler's 1q resynthesis and the state-vector
+// simulator's gate application.
+type Mat2 [4]complex128
+
+// Identity2 is the 2x2 identity.
+var Identity2 = Mat2{1, 0, 0, 1}
+
+// Mul returns a·b (matrix product).
+func (a Mat2) Mul(b Mat2) Mat2 {
+	return Mat2{
+		a[0]*b[0] + a[1]*b[2], a[0]*b[1] + a[1]*b[3],
+		a[2]*b[0] + a[3]*b[2], a[2]*b[1] + a[3]*b[3],
+	}
+}
+
+// IsIdentity reports whether a equals the identity up to global phase.
+func (a Mat2) IsIdentity() bool {
+	if cmplx.Abs(a[1]) > 1e-9 || cmplx.Abs(a[2]) > 1e-9 {
+		return false
+	}
+	return cmplx.Abs(a[0]-a[3]) < 1e-9
+}
+
+// GateMat2 returns the 2x2 unitary of a single-qubit gate, or ok=false
+// for non-unitary or multi-qubit ops.
+func GateMat2(g Gate) (Mat2, bool) {
+	i := complex(0, 1)
+	switch g.Op {
+	case OpI:
+		return Identity2, true
+	case OpX:
+		return Mat2{0, 1, 1, 0}, true
+	case OpY:
+		return Mat2{0, -i, i, 0}, true
+	case OpZ:
+		return Mat2{1, 0, 0, -1}, true
+	case OpH:
+		s := complex(1/math.Sqrt2, 0)
+		return Mat2{s, s, s, -s}, true
+	case OpS:
+		return Mat2{1, 0, 0, i}, true
+	case OpSdg:
+		return Mat2{1, 0, 0, -i}, true
+	case OpT:
+		return Mat2{1, 0, 0, cmplx.Exp(i * math.Pi / 4)}, true
+	case OpTdg:
+		return Mat2{1, 0, 0, cmplx.Exp(-i * math.Pi / 4)}, true
+	case OpSX:
+		return Mat2{0.5 + 0.5*i, 0.5 - 0.5*i, 0.5 - 0.5*i, 0.5 + 0.5*i}, true
+	case OpRX:
+		th := g.Params[0] / 2
+		c, s := complex(math.Cos(th), 0), complex(0, -math.Sin(th))
+		return Mat2{c, s, s, c}, true
+	case OpRY:
+		th := g.Params[0] / 2
+		c, s := complex(math.Cos(th), 0), complex(math.Sin(th), 0)
+		return Mat2{c, -s, s, c}, true
+	case OpRZ:
+		th := g.Params[0] / 2
+		return Mat2{cmplx.Exp(-i * complex(th, 0)), 0, 0, cmplx.Exp(i * complex(th, 0))}, true
+	case OpU:
+		return U3Mat(g.Params[0], g.Params[1], g.Params[2]), true
+	default:
+		return Identity2, false
+	}
+}
+
+// U3Mat returns the Qiskit U(θ,φ,λ) matrix.
+func U3Mat(theta, phi, lambda float64) Mat2 {
+	c := complex(math.Cos(theta/2), 0)
+	s := complex(math.Sin(theta/2), 0)
+	ephi := cmplx.Exp(complex(0, phi))
+	elam := cmplx.Exp(complex(0, lambda))
+	return Mat2{c, -elam * s, ephi * s, ephi * elam * c}
+}
+
+// ZYZAngles decomposes a unitary U = e^{iα}·RZ(φ)·RY(θ)·RZ(λ) and
+// returns (θ, φ, λ). The decomposition matches the Qiskit U-gate
+// convention, so U3Mat(ZYZAngles(U)) equals U up to global phase.
+func ZYZAngles(u Mat2) (theta, phi, lambda float64) {
+	a00, a01, a10, a11 := u[0], u[1], u[2], u[3]
+	theta = 2 * math.Atan2(cmplx.Abs(a10), cmplx.Abs(a00))
+	const eps = 1e-12
+	switch {
+	case cmplx.Abs(a00) < eps:
+		// cos(θ/2) = 0: only φ-λ is determined; pick λ = 0.
+		phi = cmplx.Phase(a10) - cmplx.Phase(-a01)
+		lambda = 0
+	case cmplx.Abs(a10) < eps:
+		// sin(θ/2) = 0: only φ+λ is determined; pick λ = 0.
+		phi = cmplx.Phase(a11) - cmplx.Phase(a00)
+		lambda = 0
+	default:
+		phi = cmplx.Phase(a10) - cmplx.Phase(a00)
+		lambda = cmplx.Phase(-a01) - cmplx.Phase(a00)
+	}
+	return theta, NormAngle(phi), NormAngle(lambda)
+}
+
+// NormAngle wraps an angle into (-π, π].
+func NormAngle(a float64) float64 {
+	a = math.Mod(a, 2*math.Pi)
+	if a <= -math.Pi {
+		a += 2 * math.Pi
+	} else if a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	return a
+}

@@ -1,0 +1,123 @@
+package circuit
+
+// Metrics captures the structural circuit properties the paper's
+// analyses consume: width, depth, CX depth, CX count, and total gate
+// operations (§II-B definitions; Figs 7 and 15 features).
+type Metrics struct {
+	// Width is the number of qubits the circuit requires.
+	Width int
+	// Depth is the length of the critical path counting every gate.
+	Depth int
+	// CXDepth is the critical-path length counting only two-qubit gates
+	// — the paper's "CX-Depth" (Fig 7).
+	CXDepth int
+	// CXCount is the total number of two-qubit gates — "CX-Total".
+	CXCount int
+	// GateOps is the total number of gate operations excluding barriers.
+	GateOps int
+	// Measurements is the number of measure instructions.
+	Measurements int
+}
+
+// ComputeMetrics derives Metrics for c in a single pass.
+func ComputeMetrics(c *Circuit) Metrics {
+	m := Metrics{Width: c.NQubits}
+	depth := make([]int, c.NQubits)   // per-qubit all-gate frontier
+	cxDepth := make([]int, c.NQubits) // per-qubit two-qubit-gate frontier
+	for _, g := range c.Gates {
+		if g.Op == OpBarrier {
+			// Barriers synchronize frontiers but add no depth.
+			maxD, maxC := 0, 0
+			for _, q := range g.Qubits {
+				if depth[q] > maxD {
+					maxD = depth[q]
+				}
+				if cxDepth[q] > maxC {
+					maxC = cxDepth[q]
+				}
+			}
+			for _, q := range g.Qubits {
+				depth[q] = maxD
+				cxDepth[q] = maxC
+			}
+			continue
+		}
+		m.GateOps++
+		if g.Op == OpMeasure {
+			m.Measurements++
+		}
+		isTwoQ := g.Op.IsTwoQubit()
+		if isTwoQ {
+			m.CXCount++
+		}
+		level, cxLevel := 0, 0
+		for _, q := range g.Qubits {
+			if depth[q] > level {
+				level = depth[q]
+			}
+			if cxDepth[q] > cxLevel {
+				cxLevel = cxDepth[q]
+			}
+		}
+		level++
+		if isTwoQ {
+			cxLevel++
+		}
+		for _, q := range g.Qubits {
+			depth[q] = level
+			if isTwoQ {
+				cxDepth[q] = cxLevel
+			}
+		}
+	}
+	for q := 0; q < c.NQubits; q++ {
+		if depth[q] > m.Depth {
+			m.Depth = depth[q]
+		}
+		if cxDepth[q] > m.CXDepth {
+			m.CXDepth = cxDepth[q]
+		}
+	}
+	return m
+}
+
+// Depth returns the all-gate critical-path depth of c.
+func (c *Circuit) Depth() int { return ComputeMetrics(c).Depth }
+
+// CXCount returns the number of two-qubit gates in c.
+func (c *Circuit) CXCount() int { return ComputeMetrics(c).CXCount }
+
+// GateCounts returns a histogram of gate ops by mnemonic, excluding
+// barriers.
+func (c *Circuit) GateCounts() map[string]int {
+	counts := make(map[string]int)
+	for _, g := range c.Gates {
+		if g.Op == OpBarrier {
+			continue
+		}
+		counts[g.Op.String()]++
+	}
+	return counts
+}
+
+// UsedQubits returns the sorted set of qubit indices touched by any
+// non-barrier gate. Machine utilization (Fig 8) is
+// len(UsedQubits)/machine size after mapping.
+func (c *Circuit) UsedQubits() []int {
+	used := make([]bool, c.NQubits)
+	for _, g := range c.Gates {
+		if g.Op == OpBarrier {
+			continue
+		}
+		for _, q := range g.Qubits {
+			used[q] = true
+		}
+	}
+	var out []int
+	for q, u := range used {
+		if u {
+			out = append(out, q)
+		}
+	}
+	return out
+}

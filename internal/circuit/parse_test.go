@@ -1,0 +1,106 @@
+package circuit
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseRoundtrip(t *testing.T) {
+	c := New("round", 3)
+	c.H(0).RZ(1, 0.5).U(2, 0.1, 0.2, 0.3).CX(0, 1).CPhase(1, 2, math.Pi/8)
+	c.SWAP(0, 2).CCX(0, 1, 2).Reset(1).Barrier(0, 2).Measure(0, 0).Measure(2, 2)
+	parsed, err := ParseString(c.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Name != "round" {
+		t.Fatalf("name = %q", parsed.Name)
+	}
+	if parsed.String() != c.String() {
+		t.Fatalf("roundtrip mismatch:\n%s\nvs\n%s", parsed.String(), c.String())
+	}
+}
+
+func TestParseRoundtripPreservesSemantics(t *testing.T) {
+	// Parameters print with %.6g; re-parsing must keep angles to that
+	// precision.
+	c := New("angles", 1)
+	c.RZ(0, 1.2345678)
+	parsed, err := ParseString(c.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(parsed.Gates[0].Params[0]-1.2345678) > 1e-9 {
+		t.Fatalf("angle drifted: %v", parsed.Gates[0].Params[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no qreg":        "h q[0];\n",
+		"no semicolon":   "qreg q[2];\nh q[0]\n",
+		"unknown gate":   "qreg q[2];\nfrobnicate q[0];\n",
+		"bad operand":    "qreg q[2];\nh x[0];\n",
+		"bad param":      "qreg q[2];\nrz(abc) q[0];\n",
+		"unclosed paren": "qreg q[2];\nrz(0.5 q[0];\n",
+		"bad measure":    "qreg q[2];\ncreg c[2];\nmeasure q[0];\n",
+		"range":          "qreg q[2];\nh q[5];\n",
+		"negative index": "qreg q[2];\nh q[-1];\n",
+	}
+	for name, src := range cases {
+		if _, err := ParseString(src); err == nil {
+			t.Fatalf("%s: expected parse error for %q", name, src)
+		}
+	}
+}
+
+func TestParseAcceptsOpenQASMBoilerplate(t *testing.T) {
+	src := `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0], q[1];
+measure q[0] -> c[0];
+`
+	c, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != 3 || c.NQubits != 2 {
+		t.Fatalf("parsed %d gates over %d qubits", len(c.Gates), c.NQubits)
+	}
+}
+
+func TestParseDefaultsClbitsToQubits(t *testing.T) {
+	c, err := ParseString("qreg q[3];\nh q[0];\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NClbits != 3 {
+		t.Fatalf("NClbits = %d, want 3", c.NClbits)
+	}
+}
+
+func TestParseAllOpsRoundtrip(t *testing.T) {
+	c := New("all", 3)
+	c.I(0).X(0).Y(0).Z(0).H(0).S(0).Sdg(0).T(0).Tdg(0).SX(0)
+	c.RX(1, 0.25).RY(1, 0.5).RZ(1, 0.75)
+	c.CZ(0, 1)
+	parsed, err := ParseString(c.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Gates) != len(c.Gates) {
+		t.Fatalf("gate count %d vs %d", len(parsed.Gates), len(c.Gates))
+	}
+	for i := range c.Gates {
+		if parsed.Gates[i].Op != c.Gates[i].Op {
+			t.Fatalf("gate %d: %v vs %v", i, parsed.Gates[i].Op, c.Gates[i].Op)
+		}
+	}
+	if !strings.Contains(parsed.String(), "sdg q[0]") {
+		t.Fatal("sdg lost in roundtrip")
+	}
+}

@@ -1,0 +1,93 @@
+package compile
+
+import (
+	"fmt"
+
+	"qcloud/internal/backend"
+	"qcloud/internal/circuit"
+)
+
+// MultiResult is the outcome of co-compiling two programs onto one
+// machine (§IV-D.3: "improve machine utilization by multi-programming
+// on the quantum machines").
+type MultiResult struct {
+	// Circ is the merged physical circuit; program A's classical bits
+	// occupy clbits [0, A.NClbits), program B's are shifted above them.
+	Circ *circuit.Circuit
+	// ResultA and ResultB are the individual compilations.
+	ResultA, ResultB *Result
+	// ClbitOffsetB is where program B's classical bits start.
+	ClbitOffsetB int
+	// Utilization is the fraction of machine qubits the merged job
+	// touches.
+	Utilization float64
+}
+
+// MultiProgram compiles circuits a and b onto disjoint regions of
+// machine m: a is compiled normally, then b is compiled with a's
+// physical qubits excluded and all couplers into them masked away, so
+// routing can never cross program boundaries. The two physical circuits
+// are concatenated (they commute — disjoint qubits) with b's classical
+// register appended after a's.
+func MultiProgram(a, b *circuit.Circuit, m *backend.Machine, cal *backend.Calibration, opts Options) (*MultiResult, error) {
+	if a.NQubits+b.NQubits > m.NumQubits() {
+		return nil, fmt.Errorf("compile: programs need %d qubits, machine %s has %d",
+			a.NQubits+b.NQubits, m.Name, m.NumQubits())
+	}
+	resA, err := Compile(a, m, cal, opts)
+	if err != nil {
+		return nil, fmt.Errorf("compile: program A: %w", err)
+	}
+	usedA := resA.Circ.UsedQubits()
+	usedSet := make(map[int]bool, len(usedA))
+	for _, q := range usedA {
+		usedSet[q] = true
+	}
+	// Mask the coupling map: no edge may touch program A's qubits.
+	var freeEdges [][2]int
+	for _, e := range m.Topo.Edges {
+		if !usedSet[e[0]] && !usedSet[e[1]] {
+			freeEdges = append(freeEdges, e)
+		}
+	}
+	maskedTopo, err := backend.NewTopology(m.NumQubits(), freeEdges)
+	if err != nil {
+		return nil, fmt.Errorf("compile: masking topology: %w", err)
+	}
+	masked := backend.CustomMachine(m.Name+"+masked", maskedTopo, m.Tier)
+	optsB := opts
+	optsB.Excluded = append(append([]int(nil), opts.Excluded...), usedA...)
+	optsB.Seed = opts.Seed + 1
+	resB, err := Compile(b, masked, cal, optsB)
+	if err != nil {
+		return nil, fmt.Errorf("compile: program B: %w", err)
+	}
+	// Verify disjointness — a violated invariant here would silently
+	// corrupt both programs.
+	for _, q := range resB.Circ.UsedQubits() {
+		if usedSet[q] {
+			return nil, fmt.Errorf("compile: programs overlap on physical qubit %d", q)
+		}
+	}
+
+	merged := &circuit.Circuit{
+		Name:    a.Name + "+" + b.Name,
+		NQubits: m.NumQubits(),
+		NClbits: a.NClbits + b.NClbits,
+	}
+	merged.Gates = append(merged.Gates, resA.Circ.Gates...)
+	for _, g := range resB.Circ.Gates {
+		ng := g.Clone()
+		if ng.Op == circuit.OpMeasure {
+			ng.Clbit += a.NClbits
+		}
+		merged.Gates = append(merged.Gates, ng)
+	}
+	return &MultiResult{
+		Circ:         merged,
+		ResultA:      resA,
+		ResultB:      resB,
+		ClbitOffsetB: a.NClbits,
+		Utilization:  float64(len(resA.Circ.UsedQubits())+len(resB.Circ.UsedQubits())) / float64(m.NumQubits()),
+	}, nil
+}

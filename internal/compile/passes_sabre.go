@@ -1,0 +1,269 @@
+package compile
+
+import (
+	"math"
+
+	"qcloud/internal/circuit"
+)
+
+// SabreSwap is a lookahead swap router in the style of SABRE (Li,
+// Ding, Xie — ASPLOS 2019), the algorithm that replaced StochasticSwap
+// as Qiskit's default. Instead of routing each blocked gate greedily
+// along a shortest path, it maintains the dependency front of the
+// circuit and picks the swap that minimizes the summed distance of the
+// front layer plus a discounted extended lookahead window.
+//
+// It exists alongside StochasticSwap so the routing ablation
+// (BenchmarkAblationRouter) can compare swap counts and wall time; the
+// paper's Fig 5 profiles StochasticSwap because that was Qiskit's
+// default in the study period.
+type SabreSwap struct {
+	// Lookahead is the extended-set size (default 20).
+	Lookahead int
+	// DecayFactor penalizes swapping the same qubit repeatedly
+	// (default 0.1 per recent use).
+	DecayFactor float64
+}
+
+// Name implements Pass.
+func (SabreSwap) Name() string { return "SabreSwap" }
+
+// Run implements Pass.
+func (p SabreSwap) Run(ctx *Context) error {
+	if ctx.Props["unmapped_2q"] == 0 {
+		ctx.Props["routed"] = 1
+		ctx.Props["swaps_inserted"] = 0
+		return nil
+	}
+	lookahead := p.Lookahead
+	if lookahead <= 0 {
+		lookahead = 20
+	}
+	decayFactor := p.DecayFactor
+	if decayFactor <= 0 {
+		decayFactor = 0.1
+	}
+
+	topo := ctx.Machine.Topo
+	dist := ctx.Distances()
+	n := topo.N
+	gates := ctx.Circ.Gates
+
+	// Wire structure: per-qubit ordered gate indices and a pointer to
+	// the next unexecuted gate on that wire.
+	wire := make([][]int, n)
+	for gi, g := range gates {
+		for _, q := range g.Qubits {
+			wire[q] = append(wire[q], gi)
+		}
+	}
+	ptr := make([]int, n)
+
+	// Mapping: l2p[v] is the current physical home of the datum whose
+	// post-layout label is v; p2l is the inverse.
+	l2p := make([]int, n)
+	p2l := make([]int, n)
+	for i := 0; i < n; i++ {
+		l2p[i], p2l[i] = i, i
+	}
+
+	out := circuit.New(ctx.Circ.Name, n)
+	out.NClbits = ctx.Circ.NClbits
+	swaps := 0
+	executed := make([]bool, len(gates))
+	decay := make([]float64, n)
+
+	atFront := func(gi int) bool {
+		for _, q := range gates[gi].Qubits {
+			w := wire[q]
+			if ptr[q] >= len(w) || w[ptr[q]] != gi {
+				return false
+			}
+		}
+		return true
+	}
+	// Terminal measurements are deferred to the end of the routed
+	// circuit: emitting them as soon as their wire drains would put
+	// unitaries (later swaps through the measured qubit) after the
+	// measurement, leaving the deferred-measurement form. The datum is
+	// tracked through subsequent swaps and measured wherever it ends up.
+	type deferredMeasure struct {
+		datum, clbit int
+	}
+	var deferred []deferredMeasure
+	execute := func(gi int) {
+		g := gates[gi]
+		if g.Op == circuit.OpMeasure && ptr[g.Qubits[0]] == len(wire[g.Qubits[0]])-1 {
+			deferred = append(deferred, deferredMeasure{datum: g.Qubits[0], clbit: g.Clbit})
+			executed[gi] = true
+			ptr[g.Qubits[0]]++
+			return
+		}
+		ng := g.Clone()
+		for qi, q := range ng.Qubits {
+			ng.Qubits[qi] = l2p[q]
+		}
+		out.Gates = append(out.Gates, ng)
+		executed[gi] = true
+		for _, q := range g.Qubits {
+			ptr[q]++
+		}
+	}
+	emitSwap := func(pa, pb int) {
+		out.Gates = append(out.Gates, circuit.Gate{Op: circuit.OpSWAP, Qubits: []int{pa, pb}, Clbit: -1})
+		a, b := p2l[pa], p2l[pb]
+		l2p[a], l2p[b] = pb, pa
+		p2l[pa], p2l[pb] = b, a
+		swaps++
+		decay[pa] += decayFactor
+		decay[pb] += decayFactor
+	}
+
+	// drain executes everything executable: 1q/measure/barrier at the
+	// front of their wires, and 2q gates whose operands are adjacent.
+	drain := func() (progress bool) {
+		for again := true; again; {
+			again = false
+			for q := 0; q < n; q++ {
+				for ptr[q] < len(wire[q]) {
+					gi := wire[q][ptr[q]]
+					if executed[gi] || !atFront(gi) {
+						break
+					}
+					g := gates[gi]
+					if g.Op.IsTwoQubit() {
+						pa, pb := l2p[g.Qubits[0]], l2p[g.Qubits[1]]
+						if dist[pa][pb] != 1 {
+							break
+						}
+					}
+					execute(gi)
+					progress, again = true, true
+				}
+			}
+		}
+		return progress
+	}
+
+	// frontLayer returns the blocked 2q gates at the dependency front.
+	frontLayer := func() []int {
+		var front []int
+		seen := make(map[int]bool)
+		for q := 0; q < n; q++ {
+			if ptr[q] >= len(wire[q]) {
+				continue
+			}
+			gi := wire[q][ptr[q]]
+			if seen[gi] || executed[gi] || !gates[gi].Op.IsTwoQubit() || !atFront(gi) {
+				continue
+			}
+			seen[gi] = true
+			front = append(front, gi)
+		}
+		return front
+	}
+
+	// extendedSet collects up to `lookahead` upcoming 2q gates beyond
+	// the front for the discounted term of the heuristic.
+	extendedSet := func(front []int) []int {
+		inFront := make(map[int]bool, len(front))
+		for _, gi := range front {
+			inFront[gi] = true
+		}
+		var ext []int
+		for q := 0; q < n && len(ext) < lookahead; q++ {
+			w := wire[q]
+			for k := ptr[q]; k < len(w) && k < ptr[q]+4 && len(ext) < lookahead; k++ {
+				gi := w[k]
+				if !executed[gi] && gates[gi].Op.IsTwoQubit() && !inFront[gi] {
+					ext = append(ext, gi)
+				}
+			}
+		}
+		return ext
+	}
+
+	score := func(front, ext []int, trialL2P []int) float64 {
+		s := 0.0
+		for _, gi := range front {
+			g := gates[gi]
+			s += float64(dist[trialL2P[g.Qubits[0]]][trialL2P[g.Qubits[1]]])
+		}
+		if len(ext) > 0 {
+			es := 0.0
+			for _, gi := range ext {
+				g := gates[gi]
+				es += float64(dist[trialL2P[g.Qubits[0]]][trialL2P[g.Qubits[1]]])
+			}
+			s += 0.5 * es / float64(len(ext))
+		}
+		return s
+	}
+
+	trial := make([]int, n)
+	for {
+		drain()
+		front := frontLayer()
+		if len(front) == 0 {
+			break
+		}
+		ext := extendedSet(front)
+		// Candidate swaps: edges incident to a front-gate operand.
+		cand := make(map[[2]int]bool)
+		for _, gi := range front {
+			for _, v := range gates[gi].Qubits {
+				pq := l2p[v]
+				for _, nb := range topo.Neighbors(pq) {
+					e := [2]int{pq, nb}
+					if e[0] > e[1] {
+						e[0], e[1] = e[1], e[0]
+					}
+					cand[e] = true
+				}
+			}
+		}
+		bestScore := math.Inf(1)
+		var best [2]int
+		for e := range cand {
+			copy(trial, l2p)
+			a, b := p2l[e[0]], p2l[e[1]]
+			trial[a], trial[b] = e[1], e[0]
+			s := score(front, ext, trial) + decay[e[0]] + decay[e[1]]
+			if s < bestScore || (s == bestScore && (e[0] < best[0] || (e[0] == best[0] && e[1] < best[1]))) {
+				bestScore, best = s, e
+			}
+		}
+		if math.IsInf(bestScore, 1) {
+			// No candidate swap: the blocked pair is unreachable (the
+			// coupling graph must be disconnected for these qubits).
+			return errUnroutable(ctx, front[0])
+		}
+		emitSwap(best[0], best[1])
+		// Periodically cool the decay so it biases recent history only.
+		if swaps%10 == 0 {
+			for i := range decay {
+				decay[i] *= 0.5
+			}
+		}
+	}
+	for _, dm := range deferred {
+		out.Gates = append(out.Gates, circuit.Gate{
+			Op: circuit.OpMeasure, Qubits: []int{l2p[dm.datum]}, Clbit: dm.clbit,
+		})
+	}
+	ctx.Circ = out
+	ctx.Props["routed"] = 1
+	ctx.Props["swaps_inserted"] = swaps
+	return nil
+}
+
+func errUnroutable(ctx *Context, gi int) error {
+	g := ctx.Circ.Gates[gi]
+	return &unroutableError{gate: g.String()}
+}
+
+type unroutableError struct{ gate string }
+
+func (e *unroutableError) Error() string {
+	return "sabre: gate " + e.gate + " is unroutable on this coupling map"
+}

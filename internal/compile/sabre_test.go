@@ -1,0 +1,69 @@
+package compile
+
+import (
+	"testing"
+
+	"qcloud/internal/circuit"
+	"qcloud/internal/circuit/gens"
+)
+
+func TestSabreRoutesQFT(t *testing.T) {
+	for _, machine := range []string{"ibmq_vigo", "ibmq_guadalupe", "ibmq_16_melbourne"} {
+		m := fleetMachine(t, machine)
+		res := compileOn(t, gens.QFT(min(5, m.NumQubits())), m, Options{Seed: 3, Router: "sabre"})
+		assertRouted(t, res, m)
+		if got := res.Circ.GateCounts()["measure"]; got != min(5, m.NumQubits()) {
+			t.Fatalf("%s: measurements = %d", machine, got)
+		}
+	}
+}
+
+func TestSabreDeterministic(t *testing.T) {
+	m := fleetMachine(t, "ibmq_guadalupe")
+	a := compileOn(t, gens.QFT(6), m, Options{Seed: 4, Router: "sabre"})
+	b := compileOn(t, gens.QFT(6), m, Options{Seed: 4, Router: "sabre"})
+	if a.Circ.String() != b.Circ.String() {
+		t.Fatal("sabre routing must be deterministic")
+	}
+}
+
+func TestSabreZeroSwapsWhenEmbedded(t *testing.T) {
+	m := fleetMachine(t, "ibmq_athens")
+	c := circuit.New("line", 5)
+	c.H(0).CX(0, 1).CX(1, 2).CX(2, 3).CX(3, 4).MeasureAll()
+	res := compileOn(t, c, m, Options{Seed: 5, Router: "sabre"})
+	if res.SwapsInserted != 0 {
+		t.Fatalf("swaps = %d, want 0", res.SwapsInserted)
+	}
+}
+
+func TestSabreNoWorseThanStochasticOnAverage(t *testing.T) {
+	// SABRE's lookahead should insert no more swaps than greedy
+	// shortest-path routing on dense circuits, summed over seeds.
+	m := fleetMachine(t, "ibmq_guadalupe")
+	totalSabre, totalStoch := 0, 0
+	for seed := int64(0); seed < 6; seed++ {
+		s := compileOn(t, gens.QFT(8), m, Options{Seed: seed, Router: "sabre", SkipCSP: true})
+		st := compileOn(t, gens.QFT(8), m, Options{Seed: seed, Router: "stochastic", SkipCSP: true})
+		totalSabre += s.SwapsInserted
+		totalStoch += st.SwapsInserted
+	}
+	if totalSabre > totalStoch*13/10 {
+		t.Fatalf("sabre swaps %d vs stochastic %d: lookahead should not be >30%% worse",
+			totalSabre, totalStoch)
+	}
+}
+
+func TestUnknownRouterRejected(t *testing.T) {
+	m := fleetMachine(t, "ibmq_vigo")
+	if _, err := Compile(gens.GHZ(3), m, nil, Options{Router: "teleport"}); err == nil {
+		t.Fatal("unknown router should error")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

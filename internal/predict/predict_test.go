@@ -1,0 +1,166 @@
+package predict
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"qcloud/internal/trace"
+)
+
+// syntheticJobs builds jobs whose runtime follows the cloud's
+// structural model: overhead + batch*(c + shots*shotCost), with noise.
+func syntheticJobs(n int, seed int64) []*trace.Job {
+	r := rand.New(rand.NewSource(seed))
+	t0 := time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC)
+	jobs := make([]*trace.Job, n)
+	for i := range jobs {
+		batch := 1 + r.Intn(900)
+		shots := []int{4096, 8192}[r.Intn(2)]
+		width := 2 + r.Intn(8)
+		depth := width * (5 + r.Intn(40))
+		// Batch is the dominant cost term, shots a secondary one, as in
+		// the cloud's execution model.
+		exec := 25 + float64(batch)*(2.0+float64(shots)*0.0002)
+		exec *= 0.95 + 0.1*r.Float64()
+		start := t0.Add(time.Duration(i) * time.Hour)
+		jobs[i] = &trace.Job{
+			ID: int64(i), User: "u", Machine: "m", MachineQubits: 27, Public: true,
+			BatchSize: batch, Shots: shots, Width: width,
+			TotalDepth: depth * batch, TotalGateOps: depth * batch * 3, CXTotal: depth * batch,
+			MemSlots:   width,
+			SubmitTime: start, StartTime: start,
+			EndTime: start.Add(time.Duration(exec * float64(time.Second))),
+			Status:  trace.StatusDone,
+		}
+	}
+	return jobs
+}
+
+func TestCumulativeSets(t *testing.T) {
+	sets := CumulativeSets()
+	if len(sets) != int(numFeatures) {
+		t.Fatalf("sets = %d", len(sets))
+	}
+	if len(sets[0]) != 1 || sets[0][0] != FeatBatch {
+		t.Fatal("first set must be {Batch}")
+	}
+	if len(sets[len(sets)-1]) != int(numFeatures) {
+		t.Fatal("last set must include all features")
+	}
+}
+
+func TestFeatureStrings(t *testing.T) {
+	want := []string{"Batch", "+Shots", "+Depth", "+Width", "+GateOps", "+MemSlots", "+Qubits"}
+	for i, w := range want {
+		if Feature(i).String() != w {
+			t.Fatalf("Feature(%d) = %s, want %s", i, Feature(i), w)
+		}
+	}
+}
+
+func TestTrainTestHighCorrelation(t *testing.T) {
+	jobs := syntheticJobs(600, 1)
+	ev, err := TrainTest(jobs, []Feature{FeatBatch, FeatShots}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The runtime law is exactly (a+b*batch)(c+d*shots)-representable,
+	// so correlation should be near-perfect.
+	if ev.Correlation < 0.97 {
+		t.Fatalf("correlation = %v, want > 0.97", ev.Correlation)
+	}
+	if len(ev.TestActual) != len(ev.TestPredicted) {
+		t.Fatal("series length mismatch")
+	}
+}
+
+func TestBatchAloneDominates(t *testing.T) {
+	jobs := syntheticJobs(600, 3)
+	batchOnly, err := TrainTest(jobs, []Feature{FeatBatch}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := TrainTest(jobs, CumulativeSets()[int(numFeatures)-1], 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig 15: batch is the major contributor; shots refine it.
+	if batchOnly.Correlation < 0.85 {
+		t.Fatalf("batch-only correlation = %v, want dominant", batchOnly.Correlation)
+	}
+	if full.Correlation < batchOnly.Correlation-0.05 {
+		t.Fatalf("full features (%v) should not be much worse than batch-only (%v)",
+			full.Correlation, batchOnly.Correlation)
+	}
+}
+
+func TestPredictPositive(t *testing.T) {
+	jobs := syntheticJobs(300, 5)
+	model, err := Train(jobs, []Feature{FeatBatch, FeatShots})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs[:20] {
+		if p := model.Predict(j); p <= 0 {
+			t.Fatalf("non-positive prediction %v", p)
+		}
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, []Feature{FeatBatch}); err == nil {
+		t.Fatal("no jobs should fail")
+	}
+	if _, err := Train(syntheticJobs(3, 1), CumulativeSets()[6]); err == nil {
+		t.Fatal("too few jobs for feature count should fail")
+	}
+	if _, err := Train(syntheticJobs(100, 1), nil); err == nil {
+		t.Fatal("empty feature set should fail")
+	}
+}
+
+func TestTrainTestSkipsCancelled(t *testing.T) {
+	jobs := syntheticJobs(100, 7)
+	for _, j := range jobs[:90] {
+		j.Status = trace.StatusCancelled
+		j.EndTime = j.StartTime
+	}
+	if _, err := TrainTest(jobs, []Feature{FeatBatch}, 1); err == nil {
+		t.Fatal("only 10 executed jobs should be rejected (< 20)")
+	}
+}
+
+func TestNarrowRangeLowersCorrelation(t *testing.T) {
+	// The Fig 16 Vigo effect: when the runtime range is narrow, noise
+	// dominates and the correlation falls even though absolute errors
+	// are small.
+	r := rand.New(rand.NewSource(11))
+	t0 := time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC)
+	narrow := make([]*trace.Job, 200)
+	for i := range narrow {
+		batch := 4 + r.Intn(3) // barely any spread
+		exec := 30 + float64(batch)*2 + r.NormFloat64()*4
+		start := t0.Add(time.Duration(i) * time.Hour)
+		narrow[i] = &trace.Job{
+			ID: int64(i), Machine: "vigo-ish", MachineQubits: 5,
+			BatchSize: batch, Shots: 1024, Width: 3,
+			TotalDepth: 30 * batch, TotalGateOps: 90 * batch, CXTotal: 20 * batch, MemSlots: 3,
+			SubmitTime: start, StartTime: start,
+			EndTime: start.Add(time.Duration(exec * float64(time.Second))),
+			Status:  trace.StatusDone,
+		}
+	}
+	wide, err := TrainTest(syntheticJobs(200, 12), []Feature{FeatBatch, FeatShots}, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrowEv, err := TrainTest(narrow, []Feature{FeatBatch, FeatShots}, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrowEv.Correlation >= wide.Correlation {
+		t.Fatalf("narrow-range correlation (%v) should fall below wide-range (%v)",
+			narrowEv.Correlation, wide.Correlation)
+	}
+}

@@ -1,0 +1,135 @@
+package qsim
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"qcloud/internal/circuit/gens"
+)
+
+func TestGrover2qExact(t *testing.T) {
+	for marked := uint64(0); marked < 4; marked++ {
+		c := gens.Grover(2, marked)
+		counts, err := Run(c, 500, nil, rand.New(rand.NewSource(int64(marked)+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bitstringOf(marked, 2)
+		if p := counts.Prob(want); p < 0.999 {
+			t.Fatalf("Grover(2, %02b): P(%s) = %v, want 1 (counts %v)", marked, want, p, counts)
+		}
+	}
+}
+
+func TestGrover3qAmplifies(t *testing.T) {
+	for _, marked := range []uint64{0b000, 0b101, 0b111} {
+		c := gens.Grover(3, marked)
+		counts, err := Run(c, 3000, nil, rand.New(rand.NewSource(int64(marked)+7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bitstringOf(marked, 3)
+		// Two iterations on 3 qubits: P ~ 0.945.
+		if p := counts.Prob(want); math.Abs(p-0.945) > 0.04 {
+			t.Fatalf("Grover(3, %03b): P(%s) = %v, want ~0.945", marked, want, p)
+		}
+	}
+}
+
+func TestGroverInvalidSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unsupported width")
+		}
+	}()
+	gens.Grover(4, 0)
+}
+
+func TestWStateUniformOneHot(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5} {
+		c := gens.WState(n)
+		counts, err := Run(c, 6000, nil, rand.New(rand.NewSource(int64(n))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := 0
+		for bits, cnt := range counts {
+			if strings.Count(bits, "1") != 1 {
+				t.Fatalf("W(%d) produced non-one-hot outcome %q", n, bits)
+			}
+			seen++
+			p := float64(cnt) / float64(counts.Total())
+			if math.Abs(p-1/float64(n)) > 0.03 {
+				t.Fatalf("W(%d) outcome %q probability %v, want %v", n, bits, p, 1/float64(n))
+			}
+		}
+		if seen != n {
+			t.Fatalf("W(%d) support size %d, want %d", n, seen, n)
+		}
+	}
+}
+
+func TestCompiledGroverStillFindsMarked(t *testing.T) {
+	// Grover uses CZ and CCX: compiling it exercises 3q unrolling,
+	// basis translation and routing; the marked state must survive.
+	cc := compileAndCompact(t, gens.Grover(3, 0b011), "ibmq_casablanca", 51)
+	counts, err := Run(cc, 3000, nil, rand.New(rand.NewSource(52)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := counts.Prob("011"); math.Abs(p-0.945) > 0.05 {
+		t.Fatalf("compiled Grover P(011) = %v, want ~0.945", p)
+	}
+}
+
+func TestCompiledWStateKeepsSupport(t *testing.T) {
+	cc := compileAndCompact(t, gens.WState(4), "ibmq_athens", 53)
+	counts, err := Run(cc, 4000, nil, rand.New(rand.NewSource(54)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bits, cnt := range counts {
+		if strings.Count(bits, "1") != 1 {
+			t.Fatalf("compiled W state broke: outcome %q x%d", bits, cnt)
+		}
+	}
+}
+
+// bitstringOf renders value as an n-bit string, bit n-1 leftmost.
+func bitstringOf(v uint64, n int) string {
+	var b strings.Builder
+	for i := n - 1; i >= 0; i-- {
+		if v&(1<<uint(i)) != 0 {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+func TestTeleportation(t *testing.T) {
+	for _, angles := range [][2]float64{{0, 0}, {0.7, 1.3}, {math.Pi / 2, math.Pi / 4}, {2.2, -0.9}} {
+		c := gens.Teleport(angles[0], angles[1])
+		counts, err := Run(c, 1000, nil, rand.New(rand.NewSource(int64(angles[0]*100)+3)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p := counts.Prob("0"); p < 0.999 {
+			t.Fatalf("teleport(%v,%v): P(verify) = %v, want 1", angles[0], angles[1], p)
+		}
+	}
+}
+
+func TestCompiledTeleportation(t *testing.T) {
+	cc := compileAndCompact(t, gens.Teleport(0.9, 0.4), "ibmq_lima", 57)
+	counts, err := Run(cc, 600, nil, rand.New(rand.NewSource(58)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := counts.Prob("0"); p < 0.999 {
+		t.Fatalf("compiled teleport P(verify) = %v", p)
+	}
+}

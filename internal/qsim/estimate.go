@@ -1,0 +1,75 @@
+package qsim
+
+import (
+	"math"
+
+	"qcloud/internal/backend"
+	"qcloud/internal/circuit"
+)
+
+// Nominal gate durations (µs) for the decoherence estimate; IBM
+// superconducting devices run 1q gates in tens of nanoseconds, CX in a
+// few hundred, measurement around a microsecond.
+const (
+	dur1QUs      = 0.05
+	dur2QUs      = 0.35
+	durMeasureUs = 1.0
+)
+
+// EstimatePOS is the closed-form probability-of-success estimator: the
+// product of per-gate success probabilities, per-qubit readout success,
+// and a T2 decoherence factor, floored by the uniform-guess probability
+// over the measured register. It lets machine-selection analyses rank
+// backends without running trajectories, which is how the paper argues
+// compile-time CX metrics predict fidelity (Fig 7, §IV-B).
+func EstimatePOS(c *circuit.Circuit, cal *backend.Calibration, staleHours float64) float64 {
+	fidelity := 1.0
+	activeUs := make(map[int]float64)
+	measured := 0
+	for _, g := range c.Gates {
+		switch {
+		case g.Op == circuit.OpBarrier:
+		case g.Op == circuit.OpMeasure:
+			q := g.Qubits[0]
+			fidelity *= 1 - calRO(cal, q)
+			activeUs[q] += durMeasureUs
+			measured++
+		case g.Op == circuit.OpReset:
+			activeUs[g.Qubits[0]] += durMeasureUs
+		case g.Op.IsTwoQubit():
+			a, b := g.Qubits[0], g.Qubits[1]
+			fidelity *= 1 - backend.DriftedCXError(cal, a, b, staleHours, cal.MeanCXError())
+			activeUs[a] += dur2QUs
+			activeUs[b] += dur2QUs
+		default:
+			q := g.Qubits[0]
+			fidelity *= 1 - cal1Q(cal, q)
+			activeUs[q] += dur1QUs
+		}
+	}
+	// Decoherence: each qubit decays with its T2 over its active time.
+	for q, t := range activeUs {
+		if q < len(cal.T2) && cal.T2[q] > 0 {
+			fidelity *= math.Exp(-t / cal.T2[q])
+		}
+	}
+	if measured == 0 {
+		return fidelity
+	}
+	guess := 1 / math.Pow(2, float64(measured))
+	return fidelity + (1-fidelity)*guess
+}
+
+func calRO(cal *backend.Calibration, q int) float64 {
+	if q < len(cal.ErrRO) {
+		return cal.ErrRO[q]
+	}
+	return 0
+}
+
+func cal1Q(cal *backend.Calibration, q int) float64 {
+	if q < len(cal.Err1Q) {
+		return cal.Err1Q[q]
+	}
+	return 0
+}

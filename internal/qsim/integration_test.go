@@ -1,0 +1,265 @@
+package qsim
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"qcloud/internal/backend"
+	"qcloud/internal/circuit"
+	"qcloud/internal/circuit/gens"
+	"qcloud/internal/compile"
+)
+
+// These tests close the loop between the transpiler and the simulator:
+// a compiled circuit, compacted back down to its active qubits, must
+// produce the same measurement statistics as the source circuit. This
+// is the strongest semantic check on the compiler (layout, routing,
+// basis translation, and all optimizations together).
+
+func compileAndCompact(t *testing.T, c *circuit.Circuit, machineName string, seed int64) *circuit.Circuit {
+	t.Helper()
+	m, err := backend.FindMachine(backend.Fleet(), machineName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal := m.CalibrationAt(time.Date(2021, 3, 15, 9, 0, 0, 0, time.UTC))
+	res, err := compile.Compile(c, m, cal, compile.Options{Seed: seed})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	compacted, _ := Compact(res.Circ)
+	return compacted
+}
+
+func TestCompiledBVStillRecoversSecret(t *testing.T) {
+	secret := uint64(0b1101)
+	for _, machine := range []string{"ibmq_athens", "ibmq_vigo", "ibmqx2", "ibmq_casablanca"} {
+		cc := compileAndCompact(t, gens.BernsteinVazirani(4, secret), machine, 21)
+		r := rand.New(rand.NewSource(22))
+		counts, err := Run(cc, 300, nil, r)
+		if err != nil {
+			t.Fatalf("%s: %v", machine, err)
+		}
+		if p := counts.Prob("1101"); p < 0.999 {
+			t.Fatalf("%s: compiled BV P(secret) = %v, counts %v", machine, p, counts)
+		}
+	}
+}
+
+func TestCompiledGHZKeepsDistribution(t *testing.T) {
+	for _, machine := range []string{"ibmq_athens", "ibmq_belem", "ibmq_16_melbourne"} {
+		cc := compileAndCompact(t, gens.GHZ(4), machine, 23)
+		r := rand.New(rand.NewSource(24))
+		counts, err := Run(cc, 3000, nil, r)
+		if err != nil {
+			t.Fatalf("%s: %v", machine, err)
+		}
+		good := counts.Prob("0000") + counts.Prob("1111")
+		if good < 0.999 {
+			t.Fatalf("%s: compiled GHZ support broken: %v", machine, counts)
+		}
+		if math.Abs(counts.Prob("0000")-0.5) > 0.05 {
+			t.Fatalf("%s: compiled GHZ imbalance: %v", machine, counts.Prob("0000"))
+		}
+	}
+}
+
+func TestCompiledQFTBenchAllZeros(t *testing.T) {
+	for _, machine := range []string{"ibmq_rome", "ibmq_vigo", "ibmq_guadalupe"} {
+		cc := compileAndCompact(t, gens.QFTBench(4), machine, 25)
+		r := rand.New(rand.NewSource(26))
+		counts, err := Run(cc, 400, nil, r)
+		if err != nil {
+			t.Fatalf("%s: %v", machine, err)
+		}
+		if p := counts.Prob("0000"); p < 0.995 {
+			t.Fatalf("%s: compiled QFT bench P(0000) = %v", machine, p)
+		}
+	}
+}
+
+func TestCompiledAdderComputesSum(t *testing.T) {
+	// 2-bit adder: a=01, b=01 -> b out = 10, carry 0. Build inputs by
+	// X gates before the adder body.
+	n := 2
+	c := circuit.New("addertest", 2*n+2)
+	c.X(0) // a = 01
+	c.X(2) // b = 01 (b register starts at index n=2)
+	add := gens.RippleCarryAdder(n)
+	c.Gates = append(c.Gates, add.Gates...)
+	cc := compileAndCompact(t, c, "ibmq_16_melbourne", 27)
+	r := rand.New(rand.NewSource(28))
+	counts, err := Run(cc, 200, nil, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, _ := counts.MostFrequent()
+	// Register layout (clbit order, msb leftmost in the string):
+	// [cout cin b1 b0 a1 a0]. a stays 01, b holds the sum 10, no carry.
+	want := "001001"
+	if best != want {
+		t.Fatalf("adder result %q, want %q (counts %v)", best, want, counts)
+	}
+	if counts.Prob(want) < 0.999 {
+		t.Fatal("adder should be deterministic")
+	}
+}
+
+func TestNoisyCompiledQFTDegradesWithCXCount(t *testing.T) {
+	// The Fig 7 mechanism: more CX gates after compilation means lower
+	// POS under the same noise. Compare a CSP-embeddable GHZ-like
+	// workload with QFT (dense interactions) on the same machine.
+	m, err := backend.FindMachine(backend.Fleet(), "ibmq_vigo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal := m.CalibrationAt(time.Date(2021, 3, 15, 9, 0, 0, 0, time.UTC))
+	noise := UniformNoise(5e-4, 0.03, 0.02)
+
+	light, err := compile.Compile(gens.GHZ(4), m, cal, compile.Options{Seed: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := compile.Compile(gens.QFTBench(4), m, cal, compile.Options{Seed: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy.Metrics.CXCount <= light.Metrics.CXCount {
+		t.Fatalf("expected QFT to need more CX than GHZ: %d vs %d",
+			heavy.Metrics.CXCount, light.Metrics.CXCount)
+	}
+	lightC, lm := Compact(light.Circ)
+	heavyC, hm := Compact(heavy.Circ)
+	r := rand.New(rand.NewSource(31))
+	posLight, err := ProbabilityOfSuccess(lightC, strings.Repeat("0", 4), 1500, noise.Remap(lm), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GHZ succeeds on 0000 or 1111; count both.
+	countsLight, err := Run(lightC, 1500, noise.Remap(lm), rand.New(rand.NewSource(32)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	posLight = countsLight.Prob("0000") + countsLight.Prob("1111")
+	posHeavy, err := ProbabilityOfSuccess(heavyC, "0000", 1500, noise.Remap(hm), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if posHeavy >= posLight {
+		t.Fatalf("POS should fall with CX count: light %v vs heavy %v", posLight, posHeavy)
+	}
+}
+
+func TestEstimatePOSBounds(t *testing.T) {
+	m, err := backend.FindMachine(backend.Fleet(), "ibmq_toronto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal := m.CalibrationAt(time.Date(2021, 2, 1, 12, 0, 0, 0, time.UTC))
+	res, err := compile.Compile(gens.QFTBench(4), m, cal, compile.Options{Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := EstimatePOS(res.Circ, cal, 0)
+	if pos <= 0 || pos > 1 {
+		t.Fatalf("POS estimate out of range: %v", pos)
+	}
+	// Staleness should not increase the estimate much; it mostly hurts.
+	stale := EstimatePOS(res.Circ, cal, 48)
+	if stale > pos*1.15 {
+		t.Fatalf("48h-stale estimate implausibly better: %v vs %v", stale, pos)
+	}
+}
+
+func TestEstimatePOSMoreCXLower(t *testing.T) {
+	m, err := backend.FindMachine(backend.Fleet(), "ibmq_guadalupe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal := m.CalibrationAt(time.Date(2021, 3, 1, 12, 0, 0, 0, time.UTC))
+	small, err := compile.Compile(gens.QFTBench(3), m, cal, compile.Options{Seed: 34})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := compile.Compile(gens.QFTBench(6), m, cal, compile.Options{Seed: 34})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if EstimatePOS(big.Circ, cal, 0) >= EstimatePOS(small.Circ, cal, 0) {
+		t.Fatal("bigger QFT should have lower estimated POS")
+	}
+}
+
+func TestCompactRemapsNoise(t *testing.T) {
+	c := circuit.New("wide", 10)
+	c.H(7).CX(7, 8).Measure(7, 0).Measure(8, 1)
+	cc, origOf := Compact(c)
+	if cc.NQubits != 2 {
+		t.Fatalf("compacted width = %d, want 2", cc.NQubits)
+	}
+	if origOf[0] != 7 || origOf[1] != 8 {
+		t.Fatalf("origOf = %v", origOf)
+	}
+	// Noise keyed on original indices must survive the remap.
+	seen := map[int]bool{}
+	noise := &NoiseModel{Readout: func(q int) float64 {
+		seen[q] = true
+		return 0
+	}}
+	remapped := noise.Remap(origOf)
+	remapped.ReadoutError(0)
+	remapped.ReadoutError(1)
+	if !seen[7] || !seen[8] {
+		t.Fatalf("remapped noise queried %v, want {7,8}", seen)
+	}
+}
+
+func TestCompactEmptyCircuit(t *testing.T) {
+	c := circuit.New("empty", 4)
+	cc, origOf := Compact(c)
+	if cc.NQubits != 1 || len(origOf) != 0 {
+		t.Fatalf("empty compact: %d qubits, origOf %v", cc.NQubits, origOf)
+	}
+}
+
+func TestMultiProgramBothProgramsCorrect(t *testing.T) {
+	// §IV-D.3 multi-programming: co-compiled GHZ and BV must both
+	// behave as if they ran alone.
+	m, err := backend.FindMachine(backend.Fleet(), "ibmq_16_melbourne")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal := m.CalibrationAt(time.Date(2021, 3, 1, 12, 0, 0, 0, time.UTC))
+	secret := uint64(0b110)
+	res, err := compile.MultiProgram(gens.GHZ(4), gens.BernsteinVazirani(3, secret), m, cal, compile.Options{Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compacted, _ := Compact(res.Circ)
+	counts, err := Run(compacted, 2000, nil, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bitstring layout: [BV(3 bits) | GHZ(4 bits)], clbit 0 rightmost.
+	ghzBalance := 0.0
+	for bits, n := range counts {
+		bv := bits[:3]  // clbits 6..4
+		ghz := bits[3:] // clbits 3..0
+		if bv != "110" {
+			t.Fatalf("BV half corrupted: %q in %q", bv, bits)
+		}
+		if ghz != "0000" && ghz != "1111" {
+			t.Fatalf("GHZ half corrupted: %q in %q", ghz, bits)
+		}
+		if ghz == "0000" {
+			ghzBalance += float64(n)
+		}
+	}
+	frac := ghzBalance / float64(counts.Total())
+	if math.Abs(frac-0.5) > 0.05 {
+		t.Fatalf("GHZ balance off: %v", frac)
+	}
+}

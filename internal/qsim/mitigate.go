@@ -1,0 +1,121 @@
+package qsim
+
+import (
+	"fmt"
+	"math"
+
+	"qcloud/internal/backend"
+)
+
+// ReadoutMitigator undoes calibrated readout (measurement) error from
+// observed counts using the tensor-product error model: each qubit's
+// readout is an independent binary channel with known flip
+// probabilities, so the 2x2 confusion matrix per qubit can be inverted
+// and applied bit by bit. This is the standard NISQ measurement-error
+// mitigation technique, one of the fidelity levers the paper's
+// recommendations motivate.
+type ReadoutMitigator struct {
+	// inv[i] is the inverted 2x2 confusion matrix of clbit i,
+	// row-major: [p(true0|obs0), p(true0|obs1), p(true1|obs0), ...]
+	// stored as the matrix applied to observed probability vectors.
+	inv [][4]float64
+}
+
+// NewReadoutMitigator builds a mitigator for nClbits classical bits.
+// flipProb(i) returns the symmetric readout flip probability of clbit
+// i (probability of reading the wrong value). Flip probabilities must
+// be below 0.5 for the confusion matrix to be invertible.
+func NewReadoutMitigator(nClbits int, flipProb func(i int) float64) (*ReadoutMitigator, error) {
+	m := &ReadoutMitigator{inv: make([][4]float64, nClbits)}
+	for i := 0; i < nClbits; i++ {
+		p := flipProb(i)
+		if p < 0 || p >= 0.5 {
+			return nil, fmt.Errorf("qsim: clbit %d flip probability %v outside [0, 0.5)", i, p)
+		}
+		// Confusion matrix A = [[1-p, p], [p, 1-p]]; inverse is
+		// 1/(1-2p) * [[1-p, -p], [-p, 1-p]].
+		d := 1 - 2*p
+		m.inv[i] = [4]float64{(1 - p) / d, -p / d, -p / d, (1 - p) / d}
+	}
+	return m, nil
+}
+
+// MitigatorFromCalibration builds a ReadoutMitigator for a compiled
+// circuit's measured qubits: clbitQubit maps clbit index -> physical
+// qubit, and cal supplies per-qubit readout errors.
+func MitigatorFromCalibration(cal *backend.Calibration, clbitQubit []int) (*ReadoutMitigator, error) {
+	return NewReadoutMitigator(len(clbitQubit), func(i int) float64 {
+		q := clbitQubit[i]
+		if q >= 0 && q < len(cal.ErrRO) {
+			return cal.ErrRO[q]
+		}
+		return 0
+	})
+}
+
+// Apply returns the mitigated quasi-probability distribution for the
+// observed counts. The tensor-product inverse can produce small
+// negative quasi-probabilities; they are clipped to zero and the
+// result renormalized (the usual least-disturbance projection).
+func (m *ReadoutMitigator) Apply(counts Counts) map[string]float64 {
+	n := len(m.inv)
+	total := float64(counts.Total())
+	quasi := make(map[string]float64)
+	for observed, cnt := range counts {
+		pObs := float64(cnt) / total
+		// Distribute this observation's probability over all true
+		// strings reachable by flipping bits, weighted by the inverse
+		// channel. Expanding all 2^n terms is exponential; instead walk
+		// bit by bit, keeping only weights above a floor.
+		type partial struct {
+			bits   []byte
+			weight float64
+		}
+		parts := []partial{{bits: make([]byte, 0, n), weight: pObs}}
+		for i := 0; i < n; i++ {
+			// Clbit i is rendered at string position n-1-i.
+			obsBit := observed[n-1-i] - '0'
+			var next []partial
+			for _, p := range parts {
+				for trueBit := byte(0); trueBit <= 1; trueBit++ {
+					// inv is indexed [trueBit][obsBit].
+					w := p.weight * m.inv[i][int(trueBit)*2+int(obsBit)]
+					if math.Abs(w) < 1e-12 {
+						continue
+					}
+					nb := append(append([]byte(nil), p.bits...), '0'+trueBit)
+					next = append(next, partial{bits: nb, weight: w})
+				}
+			}
+			parts = next
+		}
+		for _, p := range parts {
+			// p.bits were built clbit 0 first; render high bit leftmost.
+			rev := make([]byte, n)
+			for i := 0; i < n; i++ {
+				rev[n-1-i] = p.bits[i]
+			}
+			quasi[string(rev)] += p.weight
+		}
+	}
+	// Clip negatives and renormalize.
+	sum := 0.0
+	for k, v := range quasi {
+		if v < 0 {
+			delete(quasi, k)
+			continue
+		}
+		sum += v
+	}
+	if sum > 0 {
+		for k := range quasi {
+			quasi[k] /= sum
+		}
+	}
+	return quasi
+}
+
+// MitigatedProb returns the mitigated probability of one bitstring.
+func (m *ReadoutMitigator) MitigatedProb(counts Counts, bits string) float64 {
+	return m.Apply(counts)[bits]
+}

@@ -1,0 +1,129 @@
+package qsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"qcloud/internal/backend"
+	"qcloud/internal/circuit"
+	"qcloud/internal/circuit/gens"
+	"qcloud/internal/compile"
+)
+
+func TestMitigatorValidation(t *testing.T) {
+	if _, err := NewReadoutMitigator(2, func(int) float64 { return 0.5 }); err == nil {
+		t.Fatal("p=0.5 is not invertible")
+	}
+	if _, err := NewReadoutMitigator(2, func(int) float64 { return -0.1 }); err == nil {
+		t.Fatal("negative p should fail")
+	}
+}
+
+func TestMitigatorIdentityWhenNoError(t *testing.T) {
+	m, err := NewReadoutMitigator(2, func(int) float64 { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := Counts{"01": 300, "10": 700}
+	quasi := m.Apply(counts)
+	if math.Abs(quasi["01"]-0.3) > 1e-12 || math.Abs(quasi["10"]-0.7) > 1e-12 {
+		t.Fatalf("zero-error mitigation changed counts: %v", quasi)
+	}
+}
+
+func TestMitigatorRecoversDeterministicState(t *testing.T) {
+	// Prepare |1> with a noisy readout; mitigation should recover
+	// P(1) ~ 1 from the corrupted counts.
+	r := rand.New(rand.NewSource(1))
+	c := circuit.New("one", 1)
+	c.X(0).Measure(0, 0)
+	flip := 0.12
+	noise := &NoiseModel{Readout: func(int) float64 { return flip }}
+	counts, err := Run(c, 40000, noise, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Raw is visibly corrupted.
+	if counts.Prob("1") > 0.92 {
+		t.Fatalf("raw counts not corrupted enough: %v", counts.Prob("1"))
+	}
+	m, err := NewReadoutMitigator(1, func(int) float64 { return flip })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.MitigatedProb(counts, "1"); math.Abs(got-1) > 0.02 {
+		t.Fatalf("mitigated P(1) = %v, want ~1", got)
+	}
+}
+
+func TestMitigatorImprovesGHZ(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	flip := 0.06
+	noise := &NoiseModel{Readout: func(int) float64 { return flip }}
+	counts, err := Run(gens.GHZ(4), 30000, noise, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := counts.Prob("0000") + counts.Prob("1111")
+	m, err := NewReadoutMitigator(4, func(int) float64 { return flip })
+	if err != nil {
+		t.Fatal(err)
+	}
+	quasi := m.Apply(counts)
+	mitigated := quasi["0000"] + quasi["1111"]
+	if mitigated <= raw {
+		t.Fatalf("mitigation did not help: raw %v vs mitigated %v", raw, mitigated)
+	}
+	if mitigated < 0.97 {
+		t.Fatalf("mitigated GHZ fidelity %v, want ~1", mitigated)
+	}
+	// Quasi-distribution must be a valid distribution after projection.
+	sum := 0.0
+	for _, v := range quasi {
+		if v < 0 {
+			t.Fatalf("negative probability survived projection: %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("mitigated distribution sums to %v", sum)
+	}
+}
+
+func TestMitigatorFromCalibrationEndToEnd(t *testing.T) {
+	// Full pipeline: compile QFT bench, run with calibration noise,
+	// mitigate with the same calibration's readout errors; POS improves.
+	m, err := backend.FindMachine(backend.Fleet(), "ibmq_rome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal := m.CalibrationAt(time.Date(2021, 3, 10, 12, 0, 0, 0, time.UTC))
+	res, err := compile.Compile(gens.QFTBench(3), m, cal, compile.Options{Seed: 71})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compacted, origOf := Compact(res.Circ)
+	noise := NoiseFromCalibration(cal, 0).Remap(origOf)
+	counts, err := Run(compacted, 20000, noise, rand.New(rand.NewSource(72)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// clbit -> physical qubit mapping from the compiled measures.
+	clbitQubit := make([]int, compacted.NClbits)
+	for _, g := range res.Circ.Gates {
+		if g.Op == circuit.OpMeasure {
+			clbitQubit[g.Clbit] = g.Qubits[0]
+		}
+	}
+	mit, err := MitigatorFromCalibration(cal, clbitQubit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := counts.Prob("000")
+	mitigated := mit.MitigatedProb(counts, "000")
+	if mitigated <= raw {
+		t.Fatalf("calibrated mitigation did not improve POS: %v -> %v", raw, mitigated)
+	}
+}

@@ -1,0 +1,208 @@
+// Package qsim is a dense state-vector quantum simulator with
+// Monte-Carlo Pauli noise and readout error. It executes the circuits
+// produced by the compiler and measures the probability-of-success
+// metric of the paper's Fig 7 fidelity study.
+//
+// The simulator is exact for noiseless circuits; noisy execution runs
+// independent trajectories, inserting random Pauli errors after gates
+// and flipping measured bits with the calibrated readout error.
+package qsim
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"qcloud/internal/circuit"
+)
+
+// MaxQubits bounds the dense simulation (2^24 amplitudes = 256 MiB).
+const MaxQubits = 24
+
+// State is a dense state vector over n qubits. Qubit q corresponds to
+// bit q of the amplitude index (little-endian).
+type State struct {
+	n   int
+	amp []complex128
+}
+
+// NewState returns |0...0> over n qubits.
+func NewState(n int) (*State, error) {
+	if n < 1 || n > MaxQubits {
+		return nil, fmt.Errorf("qsim: %d qubits outside [1,%d]", n, MaxQubits)
+	}
+	s := &State{n: n, amp: make([]complex128, 1<<uint(n))}
+	s.amp[0] = 1
+	return s, nil
+}
+
+// NumQubits returns the register size.
+func (s *State) NumQubits() int { return s.n }
+
+// Amplitude returns the amplitude of basis state i.
+func (s *State) Amplitude(i int) complex128 { return s.amp[i] }
+
+// Norm returns the squared norm of the state (1 for a valid state).
+func (s *State) Norm() float64 {
+	t := 0.0
+	for _, a := range s.amp {
+		t += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return t
+}
+
+// Apply1Q applies a 2x2 unitary to qubit q.
+func (s *State) Apply1Q(m circuit.Mat2, q int) {
+	bit := 1 << uint(q)
+	for i := 0; i < len(s.amp); i++ {
+		if i&bit != 0 {
+			continue
+		}
+		j := i | bit
+		a0, a1 := s.amp[i], s.amp[j]
+		s.amp[i] = m[0]*a0 + m[1]*a1
+		s.amp[j] = m[2]*a0 + m[3]*a1
+	}
+}
+
+// ApplyCX applies a controlled-X with the given control and target.
+func (s *State) ApplyCX(ctrl, tgt int) {
+	cb, tb := 1<<uint(ctrl), 1<<uint(tgt)
+	for i := 0; i < len(s.amp); i++ {
+		if i&cb != 0 && i&tb == 0 {
+			j := i | tb
+			s.amp[i], s.amp[j] = s.amp[j], s.amp[i]
+		}
+	}
+}
+
+// ApplyCZ applies a controlled-Z on the pair (a, b).
+func (s *State) ApplyCZ(a, b int) {
+	ab, bb := 1<<uint(a), 1<<uint(b)
+	for i := 0; i < len(s.amp); i++ {
+		if i&ab != 0 && i&bb != 0 {
+			s.amp[i] = -s.amp[i]
+		}
+	}
+}
+
+// ApplyCPhase applies a controlled phase rotation of theta.
+func (s *State) ApplyCPhase(a, b int, theta float64) {
+	ph := cmplx.Exp(complex(0, theta))
+	ab, bb := 1<<uint(a), 1<<uint(b)
+	for i := 0; i < len(s.amp); i++ {
+		if i&ab != 0 && i&bb != 0 {
+			s.amp[i] *= ph
+		}
+	}
+}
+
+// ApplySWAP exchanges qubits a and b.
+func (s *State) ApplySWAP(a, b int) {
+	ab, bb := 1<<uint(a), 1<<uint(b)
+	for i := 0; i < len(s.amp); i++ {
+		// Visit each (01) index once; its partner is (10).
+		if i&ab != 0 && i&bb == 0 {
+			j := (i &^ ab) | bb
+			s.amp[i], s.amp[j] = s.amp[j], s.amp[i]
+		}
+	}
+}
+
+// ApplyCCX applies a Toffoli gate.
+func (s *State) ApplyCCX(c1, c2, tgt int) {
+	b1, b2, tb := 1<<uint(c1), 1<<uint(c2), 1<<uint(tgt)
+	for i := 0; i < len(s.amp); i++ {
+		if i&b1 != 0 && i&b2 != 0 && i&tb == 0 {
+			j := i | tb
+			s.amp[i], s.amp[j] = s.amp[j], s.amp[i]
+		}
+	}
+}
+
+// ProbOne returns the probability of measuring qubit q as 1.
+func (s *State) ProbOne(q int) float64 {
+	bit := 1 << uint(q)
+	p := 0.0
+	for i, a := range s.amp {
+		if i&bit != 0 {
+			p += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	return p
+}
+
+// MeasureQubit samples qubit q, collapses the state, renormalizes, and
+// returns the outcome.
+func (s *State) MeasureQubit(q int, r *rand.Rand) int {
+	p1 := s.ProbOne(q)
+	outcome := 0
+	if r.Float64() < p1 {
+		outcome = 1
+	}
+	s.collapse(q, outcome, p1)
+	return outcome
+}
+
+func (s *State) collapse(q, outcome int, p1 float64) {
+	bit := 1 << uint(q)
+	p := p1
+	if outcome == 0 {
+		p = 1 - p1
+	}
+	if p <= 0 {
+		p = 1e-300 // numerically impossible branch; avoid div by zero
+	}
+	scale := complex(1/math.Sqrt(p), 0)
+	for i := range s.amp {
+		if (i&bit != 0) != (outcome == 1) {
+			s.amp[i] = 0
+		} else {
+			s.amp[i] *= scale
+		}
+	}
+}
+
+// ResetQubit measures q and flips it to |0> if needed.
+func (s *State) ResetQubit(q int, r *rand.Rand) {
+	if s.MeasureQubit(q, r) == 1 {
+		x, _ := circuit.GateMat2(circuit.Gate{Op: circuit.OpX, Qubits: []int{q}})
+		s.Apply1Q(x, q)
+	}
+}
+
+// ApplyGate dispatches one circuit gate onto the state. Measurement,
+// reset, and barrier are not handled here — Run owns those.
+func (s *State) ApplyGate(g circuit.Gate) error {
+	switch g.Op {
+	case circuit.OpCX:
+		s.ApplyCX(g.Qubits[0], g.Qubits[1])
+	case circuit.OpCZ:
+		s.ApplyCZ(g.Qubits[0], g.Qubits[1])
+	case circuit.OpCPhase:
+		s.ApplyCPhase(g.Qubits[0], g.Qubits[1], g.Params[0])
+	case circuit.OpSWAP:
+		s.ApplySWAP(g.Qubits[0], g.Qubits[1])
+	case circuit.OpCCX:
+		s.ApplyCCX(g.Qubits[0], g.Qubits[1], g.Qubits[2])
+	case circuit.OpBarrier:
+		// no-op
+	default:
+		m, ok := circuit.GateMat2(g)
+		if !ok {
+			return fmt.Errorf("qsim: cannot apply op %v", g.Op)
+		}
+		s.Apply1Q(m, g.Qubits[0])
+	}
+	return nil
+}
+
+// Probabilities returns the |amp|² distribution over basis states.
+func (s *State) Probabilities() []float64 {
+	ps := make([]float64, len(s.amp))
+	for i, a := range s.amp {
+		ps[i] = real(a)*real(a) + imag(a)*imag(a)
+	}
+	return ps
+}

@@ -1,0 +1,203 @@
+package qsim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"qcloud/internal/circuit"
+)
+
+// Counts maps classical bitstrings (clbit NClbits-1 leftmost, Qiskit
+// style) to observed frequencies.
+type Counts map[string]int
+
+// Total returns the number of shots recorded.
+func (c Counts) Total() int {
+	t := 0
+	for _, n := range c {
+		t += n
+	}
+	return t
+}
+
+// Prob returns the empirical probability of the given bitstring.
+func (c Counts) Prob(bits string) float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c[bits]) / float64(t)
+}
+
+// MostFrequent returns the modal bitstring (ties broken
+// lexicographically) and its count.
+func (c Counts) MostFrequent() (string, int) {
+	best, bestN := "", -1
+	for b, n := range c {
+		if n > bestN || (n == bestN && b < best) {
+			best, bestN = b, n
+		}
+	}
+	return best, bestN
+}
+
+// bitstring renders clbits as a string with the highest clbit leftmost.
+func bitstring(clbits []int) string {
+	var b strings.Builder
+	for i := len(clbits) - 1; i >= 0; i-- {
+		if clbits[i] == 1 {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// Run executes circuit c for the given number of shots and returns the
+// measurement counts. With a nil noise model and no mid-circuit
+// measurement/reset, a single state-vector evolution is sampled
+// multinomially; otherwise each shot is an independent trajectory.
+func Run(c *circuit.Circuit, shots int, noise *NoiseModel, r *rand.Rand) (Counts, error) {
+	if shots <= 0 {
+		return nil, fmt.Errorf("qsim: shots must be positive, got %d", shots)
+	}
+	if usedQubits(c) > MaxQubits {
+		return nil, fmt.Errorf("qsim: circuit touches qubits beyond the %d-qubit dense limit", MaxQubits)
+	}
+	if noise == nil && isTerminalMeasureOnly(c) {
+		return runExact(c, shots, r)
+	}
+	return runTrajectories(c, shots, noise, r)
+}
+
+// usedQubits returns 1 + the largest qubit index referenced (compiled
+// circuits are machine-wide, but simulation cost depends on the full
+// register width, so callers should compact first when possible).
+func usedQubits(c *circuit.Circuit) int {
+	return c.NQubits
+}
+
+// isTerminalMeasureOnly reports whether every measurement is terminal
+// for its own qubit: no unitary (or reset) touches a qubit after it has
+// been measured. Such measurements commute to the end of the circuit,
+// so a single exact state evolution suffices.
+func isTerminalMeasureOnly(c *circuit.Circuit) bool {
+	measured := make([]bool, c.NQubits)
+	for _, g := range c.Gates {
+		switch g.Op {
+		case circuit.OpMeasure:
+			measured[g.Qubits[0]] = true
+		case circuit.OpReset:
+			return false
+		case circuit.OpBarrier:
+		default:
+			for _, q := range g.Qubits {
+				if q < len(measured) && measured[q] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// runExact evolves the state once and samples the terminal measurement
+// distribution multinomially.
+func runExact(c *circuit.Circuit, shots int, r *rand.Rand) (Counts, error) {
+	st, err := NewState(c.NQubits)
+	if err != nil {
+		return nil, err
+	}
+	var measures []circuit.Gate
+	for _, g := range c.Gates {
+		if g.Op == circuit.OpMeasure {
+			measures = append(measures, g)
+			continue
+		}
+		if err := st.ApplyGate(g); err != nil {
+			return nil, err
+		}
+	}
+	probs := st.Probabilities()
+	// Cumulative distribution for sampling.
+	cum := make([]float64, len(probs))
+	total := 0.0
+	for i, p := range probs {
+		total += p
+		cum[i] = total
+	}
+	counts := make(Counts)
+	clbits := make([]int, c.NClbits)
+	for s := 0; s < shots; s++ {
+		x := r.Float64() * total
+		// Binary search the cumulative distribution.
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		for i := range clbits {
+			clbits[i] = 0
+		}
+		for _, m := range measures {
+			bit := (lo >> uint(m.Qubits[0])) & 1
+			clbits[m.Clbit] = bit
+		}
+		counts[bitstring(clbits)]++
+	}
+	return counts, nil
+}
+
+// runTrajectories runs each shot as an independent noisy trajectory.
+func runTrajectories(c *circuit.Circuit, shots int, noise *NoiseModel, r *rand.Rand) (Counts, error) {
+	counts := make(Counts)
+	clbits := make([]int, c.NClbits)
+	for s := 0; s < shots; s++ {
+		st, err := NewState(c.NQubits)
+		if err != nil {
+			return nil, err
+		}
+		for i := range clbits {
+			clbits[i] = 0
+		}
+		for _, g := range c.Gates {
+			switch g.Op {
+			case circuit.OpMeasure:
+				bit := st.MeasureQubit(g.Qubits[0], r)
+				if noise != nil && r.Float64() < noise.ReadoutError(g.Qubits[0]) {
+					bit ^= 1
+				}
+				clbits[g.Clbit] = bit
+			case circuit.OpReset:
+				st.ResetQubit(g.Qubits[0], r)
+			case circuit.OpBarrier:
+			default:
+				if err := st.ApplyGate(g); err != nil {
+					return nil, err
+				}
+				if noise != nil {
+					noise.applyAfterGate(st, g, r)
+				}
+			}
+		}
+		counts[bitstring(clbits)]++
+	}
+	return counts, nil
+}
+
+// ProbabilityOfSuccess executes c with the given noise and returns the
+// fraction of shots yielding the expected bitstring — the paper's "POS"
+// metric.
+func ProbabilityOfSuccess(c *circuit.Circuit, expected string, shots int, noise *NoiseModel, r *rand.Rand) (float64, error) {
+	counts, err := Run(c, shots, noise, r)
+	if err != nil {
+		return 0, err
+	}
+	return counts.Prob(expected), nil
+}

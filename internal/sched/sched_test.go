@@ -1,0 +1,253 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"qcloud/internal/backend"
+	"qcloud/internal/cloud"
+	"qcloud/internal/stats"
+	"qcloud/internal/trace"
+	"qcloud/internal/workload"
+)
+
+// schedWindow keeps the evaluations fast: three months at the busy end
+// of the study.
+func schedConfig(seed int64) cloud.Config {
+	return cloud.Config{
+		Seed:  seed,
+		Start: time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC),
+		End:   time.Date(2021, 4, 1, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+func schedWorkload(seed int64) []*cloud.JobSpec {
+	cfg := schedConfig(seed)
+	return workload.Generate(workload.Config{
+		Seed: seed, TotalJobs: 900,
+		Start: cfg.Start, End: cfg.End,
+		GrowthPerMonth: 0.05,
+	})
+}
+
+func TestEstimatorPendingLookup(t *testing.T) {
+	e, err := BuildEstimator(schedConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := time.Date(2021, 3, 1, 12, 0, 0, 0, time.UTC)
+	if e.PendingAt("ibmq_athens", at) <= e.PendingAt("ibmq_rome", at) {
+		t.Log("athens not busier than rome at the probe instant (can happen); checking averages")
+		var a, r float64
+		for d := 0; d < 28; d++ {
+			ts := at.AddDate(0, 0, d)
+			a += float64(e.PendingAt("ibmq_athens", ts))
+			r += float64(e.PendingAt("ibmq_rome", ts))
+		}
+		if a <= r {
+			t.Fatalf("athens pending (%v) should exceed rome (%v) on average", a, r)
+		}
+	}
+	// Before any samples: zero.
+	if e.PendingAt("ibmq_athens", time.Date(2020, 12, 31, 0, 0, 0, 0, time.UTC)) != 0 {
+		t.Fatal("pending before window should be 0")
+	}
+	if e.PendingAt("no-such-machine", at) != 0 {
+		t.Fatal("unknown machine should be 0")
+	}
+}
+
+func TestEstimatedWaitTracksActualWait(t *testing.T) {
+	// §V-E.1: the queue-time predictor must rank machines/times usefully.
+	cfg := schedConfig(2)
+	e, err := BuildEstimator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := schedWorkload(2)
+	tr, err := cloud.Simulate(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var predicted, actual []float64
+	for _, j := range tr.Jobs {
+		if j.Status == trace.StatusCancelled {
+			continue
+		}
+		predicted = append(predicted, e.EstimatedWaitSeconds(j.Machine, j.SubmitTime))
+		actual = append(actual, j.QueueSeconds())
+	}
+	if len(actual) < 200 {
+		t.Fatalf("too few jobs: %d", len(actual))
+	}
+	rho := stats.Spearman(predicted, actual)
+	if rho < 0.35 {
+		t.Fatalf("wait prediction rank correlation = %v, want useful (>0.35)", rho)
+	}
+}
+
+func TestCandidatesRespectConstraints(t *testing.T) {
+	e, err := BuildEstimator(schedConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := time.Date(2021, 3, 1, 12, 0, 0, 0, time.UTC)
+	pub := &cloud.JobSpec{SubmitTime: at, Width: 4, Privileged: false}
+	for _, m := range e.Candidates(pub) {
+		if !m.Public {
+			t.Fatalf("non-privileged user offered private machine %s", m.Name)
+		}
+		if m.NumQubits() < 4 {
+			t.Fatalf("machine %s too small", m.Name)
+		}
+	}
+	wide := &cloud.JobSpec{SubmitTime: at, Width: 30, Privileged: true}
+	for _, m := range e.Candidates(wide) {
+		if m.NumQubits() < 30 {
+			t.Fatalf("machine %s cannot fit 30 qubits", m.Name)
+		}
+	}
+	priv := &cloud.JobSpec{SubmitTime: at, Width: 4, Privileged: true}
+	if len(e.Candidates(priv)) <= len(e.Candidates(pub)) {
+		t.Fatal("privileged users should see strictly more machines")
+	}
+}
+
+func TestPredictedWaitBeatsUserChoice(t *testing.T) {
+	// §IV-D.2's headline: vendor-side machine-aware placement improves
+	// queuing over user heuristics.
+	cfg := schedConfig(4)
+	e, err := BuildEstimator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := schedWorkload(4)
+	base, _, err := Evaluate(cfg, specs, UserChoice{}, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	balanced, _, err := Evaluate(cfg, specs, PredictedWait{}, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if balanced.MeanQueueMin >= base.MeanQueueMin {
+		t.Fatalf("predicted-wait mean queue %v min should beat user choice %v min",
+			balanced.MeanQueueMin, base.MeanQueueMin)
+	}
+	if balanced.MedianQueueMin >= base.MedianQueueMin {
+		t.Fatalf("predicted-wait median queue %v min should beat user choice %v min",
+			balanced.MedianQueueMin, base.MedianQueueMin)
+	}
+}
+
+func TestFidelityAwareTradesWaitForFidelity(t *testing.T) {
+	cfg := schedConfig(5)
+	e, err := BuildEstimator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := schedWorkload(5)
+	fast, _, err := Evaluate(cfg, specs, PredictedWait{}, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fid, _, err := Evaluate(cfg, specs, FidelityAware{WaitPenaltyPerHour: 0.005}, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fid.MeanEstFidelity <= fast.MeanEstFidelity {
+		t.Fatalf("fidelity-aware estimated fidelity %v should beat pure wait minimization %v",
+			fid.MeanEstFidelity, fast.MeanEstFidelity)
+	}
+}
+
+func TestPlaceDoesNotMutateInput(t *testing.T) {
+	e, err := BuildEstimator(schedConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := schedWorkload(6)[:20]
+	before := make([]string, len(specs))
+	for i, s := range specs {
+		before[i] = s.Machine
+	}
+	placed := Place(specs, LeastPending{}, e)
+	for i, s := range specs {
+		if s.Machine != before[i] {
+			t.Fatal("Place mutated input specs")
+		}
+		_ = placed[i]
+	}
+	// Policies must only pick legal machines.
+	byName := backend.FleetByName()
+	for i, p := range placed {
+		m := byName[p.Machine]
+		if m == nil {
+			t.Fatalf("placed on unknown machine %s", p.Machine)
+		}
+		if !specs[i].Privileged && !m.Public {
+			t.Fatalf("public user placed on private %s", p.Machine)
+		}
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	for _, p := range []Policy{UserChoice{}, LeastPending{}, PredictedWait{}, FidelityAware{}} {
+		if p.Name() == "" {
+			t.Fatal("policy without a name")
+		}
+	}
+}
+
+func TestWaitBoundsCoverActualWaits(t *testing.T) {
+	cfg := schedConfig(7)
+	e, err := BuildEstimator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := schedWorkload(7)
+	tr, err := cloud.Simulate(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within, total := 0, 0
+	ordered := 0
+	for _, j := range tr.Jobs {
+		if j.Status == trace.StatusCancelled {
+			continue
+		}
+		b := e.EstimatedWaitBounds(j.Machine, j.SubmitTime)
+		if b.P10 > b.P50 || b.P50 > b.P90 {
+			t.Fatalf("bounds not ordered: %+v", b)
+		}
+		ordered++
+		if b.P90 == 0 {
+			continue // empty-queue prediction; actual may still wait
+		}
+		total++
+		if w := j.QueueSeconds(); w >= b.P10 && w <= b.P90 {
+			within++
+		}
+	}
+	if total < 100 {
+		t.Fatalf("too few bounded predictions: %d", total)
+	}
+	cover := float64(within) / float64(total)
+	// An honest 10-90 band should cover a substantial majority; the
+	// simulation has burst dynamics the analytic band cannot fully
+	// capture, so require >= 0.5 coverage.
+	if cover < 0.5 {
+		t.Fatalf("P10-P90 band covered only %.0f%% of actual waits", cover*100)
+	}
+}
+
+func TestWaitBoundsEmptyQueue(t *testing.T) {
+	e, err := BuildEstimator(schedConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := e.EstimatedWaitBounds("ibmq_rome", time.Date(2020, 12, 31, 0, 0, 0, 0, time.UTC))
+	if b.P10 != 0 || b.P50 != 0 || b.P90 != 0 {
+		t.Fatalf("pre-window bounds should be zero: %+v", b)
+	}
+}

@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(xs, ys); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("Pearson = %v, want 1", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(xs, neg); !almostEqual(got, -1, 1e-12) {
+		t.Fatalf("Pearson = %v, want -1", got)
+	}
+}
+
+func TestPearsonConstantIsNaN(t *testing.T) {
+	if !math.IsNaN(Pearson([]float64{1, 1, 1}, []float64{1, 2, 3})) {
+		t.Fatal("constant series should yield NaN")
+	}
+}
+
+func TestPearsonMismatched(t *testing.T) {
+	if !math.IsNaN(Pearson([]float64{1, 2}, []float64{1})) {
+		t.Fatal("mismatched lengths should yield NaN")
+	}
+}
+
+func TestPearsonBoundedProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := func(n uint8) bool {
+		m := int(n%50) + 2
+		xs := make([]float64, m)
+		ys := make([]float64, m)
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+			ys[i] = r.NormFloat64()
+		}
+		c := Pearson(xs, ys)
+		return math.IsNaN(c) || (c >= -1-1e-9 && c <= 1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPearsonInvariantToAffineTransform(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	xs := make([]float64, 100)
+	ys := make([]float64, 100)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+		ys[i] = xs[i]*0.5 + r.NormFloat64()*0.2
+	}
+	c1 := Pearson(xs, ys)
+	scaled := make([]float64, len(ys))
+	for i := range ys {
+		scaled[i] = ys[i]*42 + 17
+	}
+	c2 := Pearson(xs, scaled)
+	if !almostEqual(c1, c2, 1e-9) {
+		t.Fatalf("Pearson not affine-invariant: %v vs %v", c1, c2)
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125} // monotone but nonlinear
+	if got := Spearman(xs, ys); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("Spearman = %v, want 1", got)
+	}
+}
+
+func TestRanksTies(t *testing.T) {
+	got := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Sampler draws values from a distribution using the provided source.
+// All workload-model distributions in qcloud implement Sampler so that
+// generators can be composed and swapped in tests.
+type Sampler interface {
+	Sample(r *rand.Rand) float64
+}
+
+// Uniform samples uniformly from [Lo, Hi).
+type Uniform struct{ Lo, Hi float64 }
+
+// Sample implements Sampler.
+func (u Uniform) Sample(r *rand.Rand) float64 { return u.Lo + r.Float64()*(u.Hi-u.Lo) }
+
+// Exponential samples from an exponential distribution with the given
+// mean (not rate). Used for inter-arrival times.
+type Exponential struct{ Mean float64 }
+
+// Sample implements Sampler.
+func (e Exponential) Sample(r *rand.Rand) float64 { return r.ExpFloat64() * e.Mean }
+
+// Normal samples from a normal distribution.
+type Normal struct{ Mu, Sigma float64 }
+
+// Sample implements Sampler.
+func (n Normal) Sample(r *rand.Rand) float64 { return n.Mu + n.Sigma*r.NormFloat64() }
+
+// LogNormal samples from a log-normal distribution parameterized by the
+// mean and stddev of the underlying normal. Queuing and service-time
+// distributions in the trace model are log-normal: the paper's Fig 3
+// spans five decades, which a log-normal tail reproduces.
+type LogNormal struct{ Mu, Sigma float64 }
+
+// Sample implements Sampler.
+func (l LogNormal) Sample(r *rand.Rand) float64 {
+	return math.Exp(l.Mu + l.Sigma*r.NormFloat64())
+}
+
+// Pareto samples from a Pareto (power-law) distribution with scale Xm
+// and shape Alpha. Heavy tails model the "queued for days" extreme of
+// the paper's queuing data.
+type Pareto struct {
+	Xm    float64
+	Alpha float64
+}
+
+// Sample implements Sampler.
+func (p Pareto) Sample(r *rand.Rand) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return p.Xm / math.Pow(u, 1/p.Alpha)
+}
+
+// Poisson draws a Poisson-distributed count with the given mean using
+// Knuth's method for small means and a normal approximation above 50.
+func Poisson(r *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 50 {
+		// Normal approximation with continuity correction.
+		n := int(math.Round(mean + math.Sqrt(mean)*r.NormFloat64()))
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Clamped wraps a Sampler and clamps its output to [Lo, Hi].
+type Clamped struct {
+	S      Sampler
+	Lo, Hi float64
+}
+
+// Sample implements Sampler.
+func (c Clamped) Sample(r *rand.Rand) float64 {
+	x := c.S.Sample(r)
+	if x < c.Lo {
+		return c.Lo
+	}
+	if x > c.Hi {
+		return c.Hi
+	}
+	return x
+}
+
+// Mixture samples from one of several component distributions chosen
+// with the given weights. Weights need not be normalized.
+type Mixture struct {
+	Weights    []float64
+	Components []Sampler
+}
+
+// Sample implements Sampler.
+func (m Mixture) Sample(r *rand.Rand) float64 {
+	i := WeightedChoice(r, m.Weights)
+	return m.Components[i].Sample(r)
+}
+
+// WeightedChoice returns an index drawn proportionally to weights.
+// All-zero or empty weights return 0.
+func WeightedChoice(r *rand.Rand, weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

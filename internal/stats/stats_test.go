@@ -1,0 +1,193 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestMeanBasic(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) should be NaN")
+	}
+}
+
+func TestSumEmpty(t *testing.T) {
+	if got := Sum(nil); got != 0 {
+		t.Fatalf("Sum(nil) = %v, want 0", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 100}); !almostEqual(got, 10, 1e-9) {
+		t.Fatalf("GeoMean = %v, want 10", got)
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -1})) {
+		t.Fatal("GeoMean with negative input should be NaN")
+	}
+}
+
+func TestVarianceKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Fatalf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, 2, 1e-12) {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestSampleVariance(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	if got := SampleVariance(xs); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("SampleVariance = %v, want 1", got)
+	}
+	if !math.IsNaN(SampleVariance([]float64{5})) {
+		t.Fatal("SampleVariance of single element should be NaN")
+	}
+}
+
+func TestCoV(t *testing.T) {
+	xs := []float64{10, 10, 10}
+	if got := CoV(xs); got != 0 {
+		t.Fatalf("CoV of constants = %v, want 0", got)
+	}
+	if !math.IsNaN(CoV([]float64{-1, 1})) {
+		t.Fatal("CoV with zero mean should be NaN")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("odd median = %v, want 2", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("even median = %v, want 2.5", got)
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if Quantile(xs, 0) != 10 || Quantile(xs, 1) != 40 {
+		t.Fatalf("quantile extremes wrong: %v %v", Quantile(xs, 0), Quantile(xs, 1))
+	}
+	if !math.IsNaN(Quantile(xs, -0.1)) || !math.IsNaN(Quantile(xs, 1.1)) {
+		t.Fatal("out-of-range q should be NaN")
+	}
+	if got := Quantile([]float64{7}, 0.3); got != 7 {
+		t.Fatalf("single-element quantile = %v, want 7", got)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Quantile(xs, 0.25); !almostEqual(got, 2.5, 1e-12) {
+		t.Fatalf("Quantile(0.25) = %v, want 2.5", got)
+	}
+}
+
+func TestFractionBelowAtLeast(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := FractionBelow(xs, 3); got != 0.4 {
+		t.Fatalf("FractionBelow = %v, want 0.4", got)
+	}
+	if got := FractionAtLeast(xs, 3); !almostEqual(got, 0.6, 1e-12) {
+		t.Fatalf("FractionAtLeast = %v, want 0.6", got)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0001; q += 0.1 {
+			qq := math.Min(q, 1)
+			v := Quantile(xs, qq)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanBetweenMinMaxProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e100 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-6 && m <= Max(xs)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunningMatchesBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1000)
+	var run Running
+	for i := range xs {
+		xs[i] = r.NormFloat64()*3 + 7
+		run.Add(xs[i])
+	}
+	if !almostEqual(run.Mean(), Mean(xs), 1e-9) {
+		t.Fatalf("running mean %v vs batch %v", run.Mean(), Mean(xs))
+	}
+	if !almostEqual(run.Variance(), Variance(xs), 1e-9) {
+		t.Fatalf("running var %v vs batch %v", run.Variance(), Variance(xs))
+	}
+	if run.Min() != Min(xs) || run.Max() != Max(xs) {
+		t.Fatal("running min/max mismatch")
+	}
+	if run.N() != 1000 {
+		t.Fatalf("N = %d", run.N())
+	}
+}
+
+func TestRunningEmpty(t *testing.T) {
+	var run Running
+	if !math.IsNaN(run.Mean()) || !math.IsNaN(run.Variance()) || !math.IsNaN(run.Min()) || !math.IsNaN(run.Max()) {
+		t.Fatal("empty Running should report NaN")
+	}
+}

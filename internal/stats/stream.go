@@ -1,0 +1,68 @@
+package stats
+
+import "math"
+
+// Running accumulates mean and variance incrementally using Welford's
+// algorithm, so multi-gigabyte traces can be summarized in one pass
+// without buffering all observations.
+type Running struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (s *Running) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the number of observations recorded.
+func (s *Running) N() int64 { return s.n }
+
+// Mean returns the running mean, or NaN if no observations were added.
+func (s *Running) Mean() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.mean
+}
+
+// Variance returns the running population variance.
+func (s *Running) Variance() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.m2 / float64(s.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (s *Running) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation, or NaN if none.
+func (s *Running) Min() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
+
+// Max returns the largest observation, or NaN if none.
+func (s *Running) Max() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.max
+}

@@ -1,0 +1,154 @@
+// Package trace defines the job-trace records produced by the cloud
+// simulator and consumed by every analysis — the synthetic equivalent
+// of the two-year IBM Quantum job dataset the paper studies — plus CSV
+// and JSON codecs for persisting and reloading traces.
+package trace
+
+import (
+	"fmt"
+	"time"
+)
+
+// Status is the terminal state of a job, mirroring the IBM job states
+// the paper's Fig 2b breaks down.
+type Status string
+
+// Job statuses.
+const (
+	StatusDone      Status = "DONE"
+	StatusError     Status = "ERROR"
+	StatusCancelled Status = "CANCELLED"
+)
+
+// Job is one completed (or failed) job record in the study trace.
+type Job struct {
+	// ID is the job's unique index in the trace.
+	ID int64
+	// User identifies the submitting user.
+	User string
+	// Machine is the backend name, e.g. "ibmq_athens".
+	Machine string
+	// MachineQubits is the backend size at execution.
+	MachineQubits int
+	// Public marks free-access backends.
+	Public bool
+	// CircuitName labels the dominant circuit family in the batch.
+	CircuitName string
+	// BatchSize is the number of circuits in the job (1..900).
+	BatchSize int
+	// Shots is the per-circuit repetition count (<= 8192).
+	Shots int
+	// Width is the maximum circuit width in the batch.
+	Width int
+	// TotalDepth is the summed depth over the batch's circuits.
+	TotalDepth int
+	// TotalGateOps is the summed gate count over the batch.
+	TotalGateOps int
+	// CXTotal is the summed two-qubit gate count over the batch.
+	CXTotal int
+	// MemSlots is the classical memory slots the job requires.
+	MemSlots int
+	// SubmitTime, StartTime, EndTime delimit queueing and execution.
+	SubmitTime, StartTime, EndTime time.Time
+	// Status is the terminal job state.
+	Status Status
+	// CompileEpoch and ExecEpoch are the calibration cycles at
+	// compile (submit) time and execution time; a mismatch is a
+	// calibration crossover (Fig 12a).
+	CompileEpoch, ExecEpoch int
+}
+
+// QueueSeconds returns time spent waiting in the queue.
+func (j *Job) QueueSeconds() float64 { return j.StartTime.Sub(j.SubmitTime).Seconds() }
+
+// ExecSeconds returns machine execution time (zero for cancellations).
+func (j *Job) ExecSeconds() float64 {
+	if j.Status == StatusCancelled {
+		return 0
+	}
+	return j.EndTime.Sub(j.StartTime).Seconds()
+}
+
+// Trials returns machine trials this job contributed (batch x shots).
+func (j *Job) Trials() int64 { return int64(j.BatchSize) * int64(j.Shots) }
+
+// Utilization returns the fraction of machine qubits the job's widest
+// circuit uses — the Fig 8 metric.
+func (j *Job) Utilization() float64 {
+	if j.MachineQubits == 0 {
+		return 0
+	}
+	return float64(j.Width) / float64(j.MachineQubits)
+}
+
+// CrossedCalibration reports whether the job compiled against one
+// calibration cycle but executed in another (Fig 12a).
+func (j *Job) CrossedCalibration() bool { return j.CompileEpoch != j.ExecEpoch }
+
+// Validate checks internal consistency of a record.
+func (j *Job) Validate() error {
+	switch {
+	case j.Machine == "":
+		return fmt.Errorf("trace: job %d has no machine", j.ID)
+	case j.BatchSize < 1:
+		return fmt.Errorf("trace: job %d batch %d < 1", j.ID, j.BatchSize)
+	case j.Shots < 1:
+		return fmt.Errorf("trace: job %d shots %d < 1", j.ID, j.Shots)
+	case j.StartTime.Before(j.SubmitTime):
+		return fmt.Errorf("trace: job %d starts before submission", j.ID)
+	case j.EndTime.Before(j.StartTime):
+		return fmt.Errorf("trace: job %d ends before start", j.ID)
+	case j.Status != StatusDone && j.Status != StatusError && j.Status != StatusCancelled:
+		return fmt.Errorf("trace: job %d has unknown status %q", j.ID, j.Status)
+	}
+	return nil
+}
+
+// PendingSample is a point-in-time queue-length observation for one
+// machine (Fig 9's raw data).
+type PendingSample struct {
+	Machine string
+	Time    time.Time
+	Pending int
+}
+
+// MachineStats aggregates per-machine simulation outputs that are not
+// attributable to single study jobs.
+type MachineStats struct {
+	Name           string
+	Qubits         int
+	Public         bool
+	BackgroundJobs int64
+	PendingSamples []PendingSample
+	// WaitRatioP10/P50/P90 are empirical quantiles of
+	// actualWait / (pendingAtSubmit x meanService) over background
+	// jobs: the calibration for prediction intervals on queue waits
+	// (zero when too few samples).
+	WaitRatioP10, WaitRatioP50, WaitRatioP90 float64
+}
+
+// Trace is the full output of one simulated study.
+type Trace struct {
+	Jobs     []*Job
+	Machines []*MachineStats
+}
+
+// JobsByMachine groups the study jobs by machine name.
+func (t *Trace) JobsByMachine() map[string][]*Job {
+	out := make(map[string][]*Job)
+	for _, j := range t.Jobs {
+		out[j.Machine] = append(out[j.Machine], j)
+	}
+	return out
+}
+
+// Completed returns jobs that actually executed (DONE or ERROR).
+func (t *Trace) Completed() []*Job {
+	var out []*Job
+	for _, j := range t.Jobs {
+		if j.Status != StatusCancelled {
+			out = append(out, j)
+		}
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"qcloud/internal/backend"
+	"qcloud/internal/stats"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestGenerateScaleMatchesPaper(t *testing.T) {
+	specs := Generate(Config{Seed: 1})
+	// "over 6000 jobs ... over 600,000 quantum circuits ... almost 10
+	// billion shots": check orders of magnitude.
+	if len(specs) < 4500 || len(specs) > 9000 {
+		t.Fatalf("jobs = %d, want ~6200", len(specs))
+	}
+	var circuits, trials int64
+	for _, s := range specs {
+		circuits += int64(s.BatchSize)
+		trials += int64(s.BatchSize) * int64(s.Shots)
+	}
+	if circuits < 200_000 || circuits > 3_000_000 {
+		t.Fatalf("circuits = %d, want order 600k", circuits)
+	}
+	if trials < 1e9 || trials > 3e10 {
+		t.Fatalf("trials = %d, want order 10^10", trials)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Seed: 42})
+	b := Generate(Config{Seed: 42})
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if *a[i] != *b[i] {
+			t.Fatalf("spec %d differs", i)
+		}
+	}
+	c := Generate(Config{Seed: 43})
+	if len(a) == len(c) {
+		same := true
+		for i := range a {
+			if *a[i] != *c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical workloads")
+		}
+	}
+}
+
+func TestGenerateSortedAndInWindow(t *testing.T) {
+	cfg := Config{Seed: 2}.withDefaults()
+	specs := Generate(Config{Seed: 2})
+	for i, s := range specs {
+		if i > 0 && s.SubmitTime.Before(specs[i-1].SubmitTime) {
+			t.Fatal("specs not sorted by submit time")
+		}
+		if s.SubmitTime.Before(cfg.Start) || !s.SubmitTime.Before(cfg.End) {
+			t.Fatalf("submit %v outside window", s.SubmitTime)
+		}
+	}
+}
+
+func TestGenerateGrowthIsExponential(t *testing.T) {
+	specs := Generate(Config{Seed: 3})
+	// Compare job counts in the first year vs the last year.
+	early, late := 0, 0
+	cut1 := backend.StudyStart.AddDate(1, 0, 0)
+	for _, s := range specs {
+		if s.SubmitTime.Before(cut1) {
+			early++
+		} else {
+			late++
+		}
+	}
+	if late < 5*early {
+		t.Fatalf("growth too flat: %d early vs %d late", early, late)
+	}
+	if early == 0 {
+		t.Fatal("no early jobs at all")
+	}
+}
+
+func TestGenerateTargetsOnlineMachinesOnly(t *testing.T) {
+	byName := backend.FleetByName()
+	for _, s := range Generate(Config{Seed: 4}) {
+		m, ok := byName[s.Machine]
+		if !ok {
+			t.Fatalf("unknown machine %s", s.Machine)
+		}
+		if !m.AvailableAt(s.SubmitTime) {
+			t.Fatalf("job targets %s before online/after retirement at %v", s.Machine, s.SubmitTime)
+		}
+		if s.Width > m.NumQubits() {
+			t.Fatalf("width %d exceeds %s size %d", s.Width, s.Machine, m.NumQubits())
+		}
+	}
+}
+
+func TestGenerateBatchAndShotRanges(t *testing.T) {
+	var batches, shots []float64
+	for _, s := range Generate(Config{Seed: 5}) {
+		if s.BatchSize < 1 || s.BatchSize > 900 {
+			t.Fatalf("batch %d outside [1,900]", s.BatchSize)
+		}
+		if s.Shots > 8192 {
+			t.Fatalf("shots %d above the 8192 cap", s.Shots)
+		}
+		batches = append(batches, float64(s.BatchSize))
+		shots = append(shots, float64(s.Shots))
+	}
+	// Wide batch spread (Fig 11): small and maxed batches both present.
+	if stats.Min(batches) != 1 || stats.Max(batches) != 900 {
+		t.Fatalf("batch range [%v,%v], want [1,900]", stats.Min(batches), stats.Max(batches))
+	}
+	if stats.Quantile(batches, 0.5) > 200 {
+		t.Fatal("median batch should be modest (most users underbatch)")
+	}
+	if stats.Max(shots) != 8192 {
+		t.Fatal("some jobs should use max shots")
+	}
+}
+
+func TestGenerateFeaturesConsistent(t *testing.T) {
+	for _, s := range Generate(Config{Seed: 6}) {
+		if s.TotalGateOps <= 0 || s.TotalDepth <= 0 {
+			t.Fatalf("degenerate features: %+v", s)
+		}
+		if s.CXTotal > s.TotalGateOps {
+			t.Fatal("CX count cannot exceed total gates")
+		}
+		if s.MemSlots != s.Width {
+			t.Fatal("mem slots should equal width")
+		}
+		if s.PatienceSec <= 0 {
+			t.Fatal("patience must be positive")
+		}
+	}
+}
+
+func TestGeneratePublicUsersStayPublic(t *testing.T) {
+	byName := backend.FleetByName()
+	// user-01 is not privileged (only every third user is).
+	for _, s := range Generate(Config{Seed: 7}) {
+		if s.User == "user-01" && !byName[s.Machine].Public {
+			t.Fatalf("non-privileged user on private machine %s", s.Machine)
+		}
+	}
+}
+
+func TestMonthsBetween(t *testing.T) {
+	ms := monthsBetween(
+		time.Date(2020, 11, 15, 0, 0, 0, 0, time.UTC),
+		time.Date(2021, 2, 1, 0, 0, 0, 0, time.UTC))
+	if len(ms) != 3 { // Nov (partial), Dec, Jan
+		t.Fatalf("months = %v", ms)
+	}
+}
+
+func TestWidthGrowsWithProgress(t *testing.T) {
+	r := newRand(9)
+	var early, late []float64
+	for i := 0; i < 4000; i++ {
+		early = append(early, float64(pickWidth(r, 0)))
+		late = append(late, float64(pickWidth(r, 1)))
+	}
+	if stats.Mean(late) <= stats.Mean(early) {
+		t.Fatal("widths should grow over the study")
+	}
+	if math.IsNaN(stats.Mean(early)) {
+		t.Fatal("width sampling broken")
+	}
+}
