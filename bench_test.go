@@ -9,6 +9,7 @@
 package qcloud_test
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -20,6 +21,7 @@ import (
 	"qcloud/internal/circuit/gens"
 	"qcloud/internal/cloud"
 	"qcloud/internal/compile"
+	"qcloud/internal/par"
 	"qcloud/internal/qsim"
 	"qcloud/internal/trace"
 	"qcloud/internal/workload"
@@ -120,6 +122,10 @@ func BenchmarkFig06Bisection(b *testing.B) {
 	}
 }
 
+// BenchmarkFig07Fidelity runs the five-machine fidelity sweep serially
+// and on a 4-worker pool (machines fan out and each machine's shots run
+// on the trajectory pool); the serial/parallel pair in BENCH_*.json is
+// the sweep's speedup record. Rows are bit-identical in both modes.
 func BenchmarkFig07Fidelity(b *testing.B) {
 	byName := backend.FleetByName()
 	var machines []*backend.Machine
@@ -127,11 +133,20 @@ func BenchmarkFig07Fidelity(b *testing.B) {
 		machines = append(machines, byName[n])
 	}
 	at := time.Date(2021, 3, 10, 12, 0, 0, 0, time.UTC)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := analysis.FidelityVsCXMetrics(machines, 4, 300, at, int64(i)); err != nil {
-			b.Fatal(err)
-		}
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel-4", 4}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			par.SetWorkers(mode.workers)
+			defer par.SetWorkers(0)
+			for i := 0; i < b.N; i++ {
+				if _, err := analysis.FidelityVsCXMetrics(machines, 4, 300, at, int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -280,16 +295,48 @@ func BenchmarkCompileQFTSuite(b *testing.B) {
 
 // BenchmarkStatevectorScaling measures the dense simulator's gate
 // throughput across register widths (the substrate cost behind the
-// Fig 7 fidelity experiments).
+// Fig 7 fidelity experiments). Each width runs a serial and a
+// 4-worker-kernel variant; widths below the sharding threshold (14q)
+// are serial either way, while 16q+ records the kernel-pool speedup.
+// Counts are bit-identical between the two variants.
 func BenchmarkStatevectorScaling(b *testing.B) {
-	for _, n := range []int{8, 12, 16, 20} {
+	for _, n := range []int{8, 12, 16, 20, 22} {
 		n := n
-		b.Run(map[int]string{8: "8q", 12: "12q", 16: "16q", 20: "20q"}[n], func(b *testing.B) {
-			circ := gens.QFTBench(n)
-			r := rand.New(rand.NewSource(1))
+		for _, mode := range []struct {
+			name    string
+			workers int
+		}{{"serial", 1}, {"parallel-4", 4}} {
+			mode := mode
+			b.Run(fmt.Sprintf("%dq/%s", n, mode.name), func(b *testing.B) {
+				circ := gens.QFTBench(n)
+				r := rand.New(rand.NewSource(1))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := qsim.RunOpts(circ, 1, nil, r, qsim.Parallelism{Workers: mode.workers}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTrajectoryShots measures the noisy shot pool: the same
+// 10-qubit noisy benchmark dispatched serially vs across 4 workers.
+// Per-shot RNG streams make the merged counts identical in both modes.
+func BenchmarkTrajectoryShots(b *testing.B) {
+	circ := gens.QFTBench(10)
+	noise := qsim.UniformNoise(0.001, 0.01, 0.02)
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel-4", 4}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			r := rand.New(rand.NewSource(2))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := qsim.Run(circ, 1, nil, r); err != nil {
+				if _, err := qsim.RunOpts(circ, 256, noise, r, qsim.Parallelism{Workers: mode.workers}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -24,6 +24,7 @@ import (
 	"qcloud/internal/backend"
 	"qcloud/internal/circuit/gens"
 	"qcloud/internal/cloud"
+	"qcloud/internal/par"
 	"qcloud/internal/predict"
 	"qcloud/internal/stats"
 	"qcloud/internal/trace"
@@ -39,8 +40,10 @@ func main() {
 		jobs      = flag.Int("jobs", 6200, "study job count when generating")
 		figs      = flag.String("fig", "all", "comma-separated figure ids (2a,2b,3,4,5,6,7,8,9,10,11,12a,12b,13,14,15,16) or 'all'")
 		largeQFT  = flag.Int("fig5-large", 64, "large QFT size for Fig 5 (the paper uses 980; that run takes hours)")
+		workers   = flag.Int("workers", 0, "worker pool size for simulation and the analysis sweeps (0 = NumCPU, 1 = serial; results are identical either way)")
 	)
 	flag.Parse()
+	par.SetWorkers(*workers)
 
 	tr, err := loadOrGenerate(*tracePath, *seed, *jobs)
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 
 	"qcloud/internal/analysis"
 	"qcloud/internal/backend"
+	"qcloud/internal/par"
 )
 
 func main() {
@@ -24,8 +25,10 @@ func main() {
 		largeN  = flag.Int("large", 96, "large QFT width (paper: 980; hours of runtime)")
 		largeMQ = flag.Int("large-qubits", 1000, "fake machine size for the large compile")
 		seed    = flag.Int64("seed", 7, "seed for stochastic passes")
+		workers = flag.Int("workers", 0, "worker pool size (0 = NumCPU, 1 = serial; the small/large compiles overlap when > 1)")
 	)
 	flag.Parse()
+	par.SetWorkers(*workers)
 
 	small, err := backend.FindMachine(backend.Fleet(), *smallM)
 	if err != nil {

@@ -17,6 +17,7 @@ import (
 	"qcloud/internal/circuit/gens"
 	"qcloud/internal/cloud"
 	"qcloud/internal/compile"
+	"qcloud/internal/par"
 	"qcloud/internal/pulse"
 	"qcloud/internal/qsim"
 	"qcloud/internal/sched"
@@ -28,7 +29,9 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("qcloud-recs: ")
 	seed := flag.Int64("seed", 11, "experiment seed")
+	workers := flag.Int("workers", 0, "worker pool size (0 = NumCPU, 1 = serial; results are identical either way)")
 	flag.Parse()
+	par.SetWorkers(*workers)
 
 	scheduling(*seed)
 	waitBounds(*seed)

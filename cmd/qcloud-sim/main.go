@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	qcloud-sim -seed 42 -jobs 6200 -csv trace.csv -json trace.json
+//	qcloud-sim -seed 42 -jobs 6200 -workers 8 -csv trace.csv -json trace.json
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"qcloud/internal/cloud"
+	"qcloud/internal/par"
 	"qcloud/internal/trace"
 	"qcloud/internal/workload"
 )
@@ -25,14 +26,16 @@ func main() {
 	var (
 		seed    = flag.Int64("seed", 42, "random seed; the same seed reproduces the trace byte for byte")
 		jobs    = flag.Int("jobs", 6200, "expected study job count")
+		workers = flag.Int("workers", 0, "worker pool size for the fleet sweep (0 = NumCPU, 1 = serial; output is identical either way)")
 		csvPath = flag.String("csv", "", "write job records as CSV to this path")
 		jsPath  = flag.String("json", "", "write the full trace (jobs + machine stats) as JSON to this path")
 		quiet   = flag.Bool("q", false, "suppress the summary")
 	)
 	flag.Parse()
+	par.SetWorkers(*workers)
 
 	specs := workload.Generate(workload.Config{Seed: *seed, TotalJobs: *jobs})
-	tr, err := cloud.Simulate(cloud.Config{Seed: *seed}, specs)
+	tr, err := cloud.Simulate(cloud.Config{Seed: *seed, Workers: *workers}, specs)
 	if err != nil {
 		log.Fatal(err)
 	}

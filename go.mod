@@ -1,0 +1,3 @@
+module qcloud
+
+go 1.24

@@ -2,17 +2,39 @@
 // evaluation from a simulated trace (Figs 2-4, 8-16) or by running the
 // compiler/simulator substrates directly (Figs 5-7, 12b). Each figure
 // has one entry point returning plain data that the qcloud-analyze
-// command formats; EXPERIMENTS.md indexes them.
+// command formats; README.md's figure index maps figures to entry
+// points.
 package analysis
 
 import (
 	"sort"
 	"time"
 
+	"qcloud/internal/par"
 	"qcloud/internal/predict"
 	"qcloud/internal/stats"
 	"qcloud/internal/trace"
 )
+
+// violinByMachine summarizes each machine's sample vector on a worker
+// pool. Summaries land in name-indexed slots, so the result is
+// identical for any worker count.
+func violinByMachine(byMachine map[string][]float64) map[string]stats.ViolinSummary {
+	names := make([]string, 0, len(byMachine))
+	for m := range byMachine {
+		names = append(names, m)
+	}
+	sort.Strings(names)
+	summaries := make([]stats.ViolinSummary, len(names))
+	par.ForEach(len(names), 0, func(i int) {
+		summaries[i] = stats.Violin(byMachine[names[i]])
+	})
+	out := make(map[string]stats.ViolinSummary, len(names))
+	for i, m := range names {
+		out[m] = summaries[i]
+	}
+	return out
+}
 
 // MonthlyTrials is one month's machine-trial count (Fig 2a).
 type MonthlyTrials struct {
@@ -115,11 +137,7 @@ func UtilizationByMachine(tr *trace.Trace) map[string]stats.ViolinSummary {
 	for _, j := range tr.Completed() {
 		byMachine[j.Machine] = append(byMachine[j.Machine], j.Utilization())
 	}
-	out := make(map[string]stats.ViolinSummary, len(byMachine))
-	for m, xs := range byMachine {
-		out[m] = stats.Violin(xs)
-	}
-	return out
+	return violinByMachine(byMachine)
 }
 
 // PendingRow is one machine's average pending-job count over a window
@@ -169,11 +187,7 @@ func QueuingByMachine(tr *trace.Trace) map[string]stats.ViolinSummary {
 	for _, j := range tr.Completed() {
 		byMachine[j.Machine] = append(byMachine[j.Machine], j.QueueSeconds()/60)
 	}
-	out := make(map[string]stats.ViolinSummary, len(byMachine))
-	for m, xs := range byMachine {
-		out[m] = stats.Violin(xs)
-	}
-	return out
+	return violinByMachine(byMachine)
 }
 
 // BatchBucket aggregates jobs whose batch size falls in [Lo, Hi)
@@ -251,11 +265,7 @@ func RuntimeByMachine(tr *trace.Trace) map[string]stats.ViolinSummary {
 		perCirc := j.ExecSeconds() / float64(j.BatchSize) / 60
 		byMachine[j.Machine] = append(byMachine[j.Machine], perCirc)
 	}
-	out := make(map[string]stats.ViolinSummary, len(byMachine))
-	for m, xs := range byMachine {
-		out[m] = stats.Violin(xs)
-	}
-	return out
+	return violinByMachine(byMachine)
 }
 
 // RuntimeTrend is the Fig 14 scatter with its least-squares trend line
@@ -306,14 +316,17 @@ func PredictionCorrelations(tr *trace.Trace, minJobs int, seed int64) []MachineP
 		minJobs = 60
 	}
 	sets := predict.CumulativeSets()
-	var out []MachinePrediction
 	byMachine := tr.JobsByMachine()
 	names := make([]string, 0, len(byMachine))
 	for name := range byMachine {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	for _, name := range names {
+	// Per-machine model training is independent; fan it out and keep
+	// name-order by collecting into indexed slots.
+	preds := make([]*MachinePrediction, len(names))
+	par.ForEach(len(names), 0, func(i int) {
+		name := names[i]
 		jobs := byMachine[name]
 		executed := 0
 		for _, j := range jobs {
@@ -322,9 +335,9 @@ func PredictionCorrelations(tr *trace.Trace, minJobs int, seed int64) []MachineP
 			}
 		}
 		if executed < minJobs {
-			continue
+			return
 		}
-		mp := MachinePrediction{Machine: name, Jobs: executed}
+		mp := &MachinePrediction{Machine: name, Jobs: executed}
 		for _, set := range sets {
 			ev, err := predict.TrainTest(jobs, set, seed)
 			if err != nil {
@@ -333,7 +346,13 @@ func PredictionCorrelations(tr *trace.Trace, minJobs int, seed int64) []MachineP
 			}
 			mp.Correlations = append(mp.Correlations, ev.Correlation)
 		}
-		out = append(out, mp)
+		preds[i] = mp
+	})
+	var out []MachinePrediction
+	for _, mp := range preds {
+		if mp != nil {
+			out = append(out, *mp)
+		}
 	}
 	return out
 }

@@ -11,6 +11,7 @@ import (
 	"qcloud/internal/circuit"
 	"qcloud/internal/circuit/gens"
 	"qcloud/internal/compile"
+	"qcloud/internal/par"
 	"qcloud/internal/qsim"
 )
 
@@ -31,13 +32,29 @@ func CompilePassProfile(smallN int, smallM *backend.Machine, largeN int, largeM 
 	if largeM == nil {
 		largeM = backend.Fake1000()
 	}
-	small, err := compile.Compile(gens.QFT(smallN), smallM, nil, compile.Options{Seed: seed})
-	if err != nil {
-		return nil, fmt.Errorf("small compile: %w", err)
-	}
-	large, err := compile.Compile(gens.QFT(largeN), largeM, nil, compile.Options{Seed: seed})
-	if err != nil {
-		return nil, fmt.Errorf("large compile: %w", err)
+	// The two compiles are independent; with workers > 1 they run
+	// concurrently (the large one dominates, so the small one overlaps
+	// for free). -workers 1 keeps them sequential, which is what you
+	// want for uncontended per-pass wall-clock profiles.
+	var small, large *compile.Result
+	errs := make([]error, 2)
+	par.ForEach(2, 0, func(i int) {
+		if i == 0 {
+			var err error
+			small, err = compile.Compile(gens.QFT(smallN), smallM, nil, compile.Options{Seed: seed})
+			if err != nil {
+				errs[0] = fmt.Errorf("small compile: %w", err)
+			}
+		} else {
+			var err error
+			large, err = compile.Compile(gens.QFT(largeN), largeM, nil, compile.Options{Seed: seed})
+			if err != nil {
+				errs[1] = fmt.Errorf("large compile: %w", err)
+			}
+		}
+	})
+	if err := par.FirstError(errs); err != nil {
+		return nil, err
 	}
 	byName := make(map[string]*PassCost)
 	var order []string
@@ -114,21 +131,37 @@ type FidelityRow struct {
 // machine under its calibration at time at, runs the noisy trajectory
 // simulation, and reports POS alongside the CX metrics (Fig 7; the
 // paper uses casablanca, toronto, guadalupe, rome and manhattan).
+// Machines are swept on a worker pool; each machine's RNG stream is
+// seeded by (seed, machine), so rows are deterministic and identical
+// to a serial sweep.
 func FidelityVsCXMetrics(machines []*backend.Machine, n, shots int, at time.Time, seed int64) ([]FidelityRow, error) {
-	var rows []FidelityRow
-	for _, m := range machines {
+	rows := make([]FidelityRow, len(machines))
+	errs := make([]error, len(machines))
+	// When the machine sweep is itself parallel, keep each machine's
+	// shot pool serial so -workers stays a real concurrency bound
+	// instead of multiplying across nesting levels. Counts are
+	// bit-identical either way.
+	inner := qsim.Parallelism{}
+	if par.Workers() > 1 && len(machines) > 1 {
+		inner.Workers = 1
+	}
+	par.ForEach(len(machines), 0, func(i int) {
+		m := machines[i]
 		cal := m.CalibrationAt(at)
 		res, err := compile.Compile(gens.QFTBench(n), m, cal, compile.Options{Seed: seed})
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", m.Name, err)
+			errs[i] = fmt.Errorf("%s: %w", m.Name, err)
+			return
 		}
 		compacted, origOf := qsim.Compact(res.Circ)
 		noise := qsim.NoiseFromCalibration(cal, 0).Remap(origOf)
 		r := rand.New(rand.NewSource(seed + m.Seed))
-		pos, err := qsim.ProbabilityOfSuccess(compacted, strings.Repeat("0", n), shots, noise, r)
+		counts, err := qsim.RunOpts(compacted, shots, noise, r, inner)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", m.Name, err)
+			errs[i] = fmt.Errorf("%s: %w", m.Name, err)
+			return
 		}
+		pos := counts.Prob(strings.Repeat("0", n))
 		// Mean CX error over the couplers the compiled circuit uses.
 		errSum, errN := 0.0, 0
 		for _, g := range res.Circ.Gates {
@@ -141,14 +174,17 @@ func FidelityVsCXMetrics(machines []*backend.Machine, n, shots int, at time.Time
 		if errN > 0 {
 			meanErr = errSum / float64(errN)
 		}
-		rows = append(rows, FidelityRow{
+		rows[i] = FidelityRow{
 			Machine: m.Name, Qubits: m.NumQubits(),
 			POS:        pos * 100,
 			CXDepth:    res.Metrics.CXDepth,
 			CXTotal:    res.Metrics.CXCount,
 			CXDepthErr: float64(res.Metrics.CXDepth) * meanErr * 100,
 			CXTotalErr: float64(res.Metrics.CXCount) * meanErr * 100,
-		})
+		}
+	})
+	if err := par.FirstError(errs); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -222,8 +258,19 @@ func StaleCompilationPenalty(m *backend.Machine, n, staleDays, days, shots int, 
 	}
 	bench := gens.QFTBench(n)
 	expected := strings.Repeat("0", n)
-	var freshSum, staleSum float64
-	for d := 0; d < days; d++ {
+	// Days are independent (each has its own seeded RNG streams), so
+	// fan them out and sum the per-day results in day order to keep the
+	// means bit-identical to a serial sweep.
+	freshPOS := make([]float64, days)
+	stalePOS := make([]float64, days)
+	errs := make([]error, days)
+	// As in FidelityVsCXMetrics: a parallel day sweep keeps each day's
+	// shot pools serial so -workers bounds total concurrency.
+	inner := qsim.Parallelism{}
+	if par.Workers() > 1 && days > 1 {
+		inner.Workers = 1
+	}
+	par.ForEach(days, 0, func(d int) {
 		execAt := t0.Add(time.Duration(d) * 24 * time.Hour)
 		calNow := m.CalibrationAt(execAt)
 		calOld := m.CalibrationAt(execAt.Add(-time.Duration(staleDays) * 24 * time.Hour))
@@ -231,11 +278,13 @@ func StaleCompilationPenalty(m *backend.Machine, n, staleDays, days, shots int, 
 
 		fresh, err := compile.Compile(bench, m, calNow, compile.Options{Seed: seed, SkipCSP: true})
 		if err != nil {
-			return nil, err
+			errs[d] = err
+			return
 		}
 		stale, err := compile.Compile(bench, m, calOld, compile.Options{Seed: seed, SkipCSP: true})
 		if err != nil {
-			return nil, err
+			errs[d] = err
+			return
 		}
 		// Both run under *today's* noise; the stale compilation also
 		// suffers drift relative to its pulse-era calibration.
@@ -245,16 +294,26 @@ func StaleCompilationPenalty(m *backend.Machine, n, staleDays, days, shots int, 
 		staleNoise := qsim.NoiseFromCalibration(calNow, staleHours).Remap(sm)
 		r1 := rand.New(rand.NewSource(seed + int64(d)*17))
 		r2 := rand.New(rand.NewSource(seed + int64(d)*17 + 1))
-		fp, err := qsim.ProbabilityOfSuccess(fc, expected, shots, freshNoise, r1)
+		fCounts, err := qsim.RunOpts(fc, shots, freshNoise, r1, inner)
 		if err != nil {
-			return nil, err
+			errs[d] = err
+			return
 		}
-		sp, err := qsim.ProbabilityOfSuccess(sc, expected, shots, staleNoise, r2)
+		sCounts, err := qsim.RunOpts(sc, shots, staleNoise, r2, inner)
 		if err != nil {
-			return nil, err
+			errs[d] = err
+			return
 		}
-		freshSum += fp
-		staleSum += sp
+		freshPOS[d] = fCounts.Prob(expected)
+		stalePOS[d] = sCounts.Prob(expected)
+	})
+	if err := par.FirstError(errs); err != nil {
+		return nil, err
+	}
+	var freshSum, staleSum float64
+	for d := 0; d < days; d++ {
+		freshSum += freshPOS[d]
+		staleSum += stalePOS[d]
 	}
 	return &StalenessResult{
 		FreshPOS: freshSum / float64(days),

@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"qcloud/internal/backend"
+	"qcloud/internal/par"
+)
+
+// TestFidelitySweepDeterministicAcrossWorkers runs the Fig 7 sweep
+// serially and on the full worker pool and requires identical rows —
+// the determinism contract of the parallel analysis fan-out.
+func TestFidelitySweepDeterministicAcrossWorkers(t *testing.T) {
+	byName := backend.FleetByName()
+	machines := []*backend.Machine{byName["ibmq_rome"], byName["ibmq_casablanca"]}
+	at := time.Date(2021, 3, 10, 12, 0, 0, 0, time.UTC)
+
+	par.SetWorkers(1)
+	serial, err := FidelityVsCXMetrics(machines, 4, 150, at, 5)
+	par.SetWorkers(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := FidelityVsCXMetrics(machines, 4, 150, at, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("fidelity rows differ between serial and parallel sweeps:\n%v\nvs\n%v", serial, parallel)
+	}
+}
+
+// TestStalenessSweepDeterministicAcrossWorkers repeats the check for
+// the per-day staleness fan-out, whose means are summed in day order.
+func TestStalenessSweepDeterministicAcrossWorkers(t *testing.T) {
+	m := backend.FleetByName()["ibmq_toronto"]
+	t0 := time.Date(2021, 3, 1, 15, 0, 0, 0, time.UTC)
+
+	par.SetWorkers(1)
+	serial, err := StaleCompilationPenalty(m, 4, 2, 4, 120, t0, 9)
+	par.SetWorkers(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := StaleCompilationPenalty(m, 4, 2, 4, 120, t0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *serial != *parallel {
+		t.Fatalf("staleness result differs: serial %+v vs parallel %+v", serial, parallel)
+	}
+}

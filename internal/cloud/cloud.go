@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"qcloud/internal/backend"
+	"qcloud/internal/par"
 	"qcloud/internal/stats"
 	"qcloud/internal/trace"
 )
@@ -63,6 +64,11 @@ type Config struct {
 	// (default 0.035, matching Fig 2b's ~5% non-DONE combined with
 	// cancellations).
 	ErrorRate float64
+	// Workers bounds the per-machine simulation fan-out (0 = process
+	// default, 1 = serial). Machines are independent event loops with
+	// machine-seeded RNGs, so the trace is bit-identical for any
+	// worker count.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -105,10 +111,22 @@ func Simulate(cfg Config, specs []*JobSpec) (*trace.Trace, error) {
 			return nil, fmt.Errorf("cloud: study job targets unknown machine %q", name)
 		}
 	}
+	// Each machine is an independent single-server queue with its own
+	// seeded RNG, so the fleet sweep runs on a worker pool. Job IDs are
+	// assigned afterwards in (machine order, record order) — the exact
+	// sequence the serial loop produced — keeping traces bit-identical
+	// across worker counts.
 	out := &trace.Trace{}
+	results := make([]machineResult, len(c.Machines))
+	par.ForEach(len(c.Machines), c.Workers, func(i int) {
+		results[i] = simulateMachine(c, c.Machines[i], byMachine[c.Machines[i].Name])
+	})
 	var nextID int64
-	for _, m := range c.Machines {
-		ms := simulateMachine(c, m, byMachine[m.Name], &nextID)
+	for _, ms := range results {
+		for _, j := range ms.jobs {
+			nextID++
+			j.ID = nextID
+		}
 		out.Jobs = append(out.Jobs, ms.jobs...)
 		out.Machines = append(out.Machines, ms.stats)
 	}
@@ -198,8 +216,10 @@ const fairSharePenalty = 8
 // usageDecayHours is the half-life of fair-share usage accounting.
 const usageDecayHours = 24
 
-// simulateMachine runs the single-server queue for one machine.
-func simulateMachine(cfg Config, m *backend.Machine, specs []*JobSpec, nextID *int64) machineResult {
+// simulateMachine runs the single-server queue for one machine. Job
+// IDs are left zero; Simulate assigns them in deterministic fleet
+// order after the parallel sweep.
+func simulateMachine(cfg Config, m *backend.Machine, specs []*JobSpec) machineResult {
 	r := rand.New(rand.NewSource(cfg.Seed*7919 + m.Seed))
 	mstats := &trace.MachineStats{Name: m.Name, Qubits: m.NumQubits(), Public: m.Public}
 	res := machineResult{stats: mstats}
@@ -330,7 +350,6 @@ func simulateMachine(cfg Config, m *backend.Machine, specs []*JobSpec, nextID *i
 
 	recordStudy := func(q *queuedJob, start, end float64, status trace.Status) {
 		s := q.spec
-		*nextID++
 		startT, endT := toTime(start), toTime(end)
 		// Float-second round-tripping can land a nanosecond before the
 		// submission instant; clamp to keep records consistent.
@@ -341,7 +360,7 @@ func simulateMachine(cfg Config, m *backend.Machine, specs []*JobSpec, nextID *i
 			endT = startT
 		}
 		j := &trace.Job{
-			ID: *nextID, User: s.User, Machine: m.Name,
+			User: s.User, Machine: m.Name,
 			MachineQubits: m.NumQubits(), Public: m.Public,
 			CircuitName: s.CircuitName, BatchSize: s.BatchSize, Shots: s.Shots,
 			Width: s.Width, TotalDepth: s.TotalDepth, TotalGateOps: s.TotalGateOps,
@@ -424,13 +443,12 @@ func simulateMachine(cfg Config, m *backend.Machine, specs []*JobSpec, nextID *i
 	// admitted before the loop ended) are recorded as cancelled.
 	for ; specIdx < len(specs); specIdx++ {
 		s := specs[specIdx]
-		*nextID++
 		at := s.SubmitTime
 		if at.Before(online) {
 			at = online
 		}
 		res.jobs = append(res.jobs, &trace.Job{
-			ID: *nextID, User: s.User, Machine: m.Name,
+			User: s.User, Machine: m.Name,
 			MachineQubits: m.NumQubits(), Public: m.Public,
 			CircuitName: s.CircuitName, BatchSize: s.BatchSize, Shots: s.Shots,
 			Width: s.Width, TotalDepth: s.TotalDepth, TotalGateOps: s.TotalGateOps,

@@ -1,0 +1,51 @@
+package cloud
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestSimulateDeterministicAcrossWorkers checks the fleet fan-out's
+// contract: the trace (jobs, IDs, machine stats) is bit-identical
+// whether machines are simulated serially or on the worker pool.
+func TestSimulateDeterministicAcrossWorkers(t *testing.T) {
+	start := time.Date(2021, 2, 1, 0, 0, 0, 0, time.UTC)
+	end := start.AddDate(0, 2, 0)
+	mkSpecs := func() []*JobSpec {
+		var specs []*JobSpec
+		for i := 0; i < 60; i++ {
+			specs = append(specs, &JobSpec{
+				SubmitTime: start.Add(time.Duration(i) * 13 * time.Hour),
+				User:       "study",
+				Machine:    []string{"ibmq_bogota", "ibmq_rome", "ibmq_toronto"}[i%3],
+				BatchSize:  1 + i%5, Shots: 1024,
+				CircuitName: "qft", Width: 4, TotalDepth: 30, TotalGateOps: 60, CXTotal: 12,
+			})
+		}
+		return specs
+	}
+	base := Config{Seed: 17, Start: start, End: end}
+
+	serialCfg := base
+	serialCfg.Workers = 1
+	serial, err := Simulate(serialCfg, mkSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelCfg := base
+	parallelCfg.Workers = 0 // process default (NumCPU)
+	parallel, err := Simulate(parallelCfg, mkSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Jobs) == 0 {
+		t.Fatal("no jobs simulated")
+	}
+	if !reflect.DeepEqual(serial.Jobs, parallel.Jobs) {
+		t.Fatal("job records differ between serial and parallel fleet sweeps")
+	}
+	if !reflect.DeepEqual(serial.Machines, parallel.Machines) {
+		t.Fatal("machine stats differ between serial and parallel fleet sweeps")
+	}
+}

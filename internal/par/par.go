@@ -1,0 +1,124 @@
+// Package par is the shared parallel-execution substrate: a
+// process-wide default worker count (the CLI -workers flag) and
+// deterministic fan-out helpers used by the qsim gate kernels, the
+// trajectory shot pool, the analysis sweeps, and the cloud fleet loop.
+//
+// Every helper here preserves result determinism: work item i always
+// produces the same output slot regardless of how many workers run, so
+// callers that index results by input position are bit-identical across
+// worker counts.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers holds the process-wide worker count; 0 means
+// runtime.NumCPU() resolved at call time.
+var defaultWorkers atomic.Int64
+
+// Workers returns the process-wide default worker count.
+func Workers() int {
+	if n := defaultWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.NumCPU()
+}
+
+// SetWorkers sets the process-wide default worker count. Values <= 0
+// reset to runtime.NumCPU().
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// Resolve maps a per-call worker request onto an effective count:
+// positive values pass through, anything else takes the process
+// default.
+func Resolve(n int) int {
+	if n > 0 {
+		return n
+	}
+	return Workers()
+}
+
+// Shard splits [0, n) into at most `workers` contiguous chunks and runs
+// fn(lo, hi) on each from its own goroutine, blocking until all finish.
+// workers <= 1 (or n small) degenerates to a single in-place call.
+// Chunk boundaries depend only on n and the worker count handed to the
+// goroutines' launch, so side-effect-free chunk work is deterministic.
+func Shard(n, workers int, fn func(lo, hi int)) {
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForEach runs fn(i) for every i in [0, n) across the given worker
+// count, pulling indices from a shared counter, and blocks until all
+// complete. Results written to slot i of a caller-owned slice are
+// position-stable, so output ordering is deterministic even though
+// execution ordering is not.
+func ForEach(n, workers int, fn func(i int)) {
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// FirstError returns the lowest-index non-nil error, so parallel sweeps
+// report the same failure the serial loop would have hit first.
+func FirstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

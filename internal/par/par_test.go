@@ -1,0 +1,73 @@
+package par
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersDefaultAndSet(t *testing.T) {
+	defer SetWorkers(0)
+	if Workers() != runtime.NumCPU() {
+		t.Fatalf("default workers = %d, want NumCPU %d", Workers(), runtime.NumCPU())
+	}
+	SetWorkers(3)
+	if Workers() != 3 {
+		t.Fatalf("workers = %d after SetWorkers(3)", Workers())
+	}
+	SetWorkers(-5)
+	if Workers() != runtime.NumCPU() {
+		t.Fatal("negative SetWorkers should reset to NumCPU")
+	}
+	if Resolve(7) != 7 {
+		t.Fatal("Resolve should pass positive counts through")
+	}
+	if Resolve(0) != runtime.NumCPU() {
+		t.Fatal("Resolve(0) should take the process default")
+	}
+}
+
+func TestShardCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 64} {
+		for _, n := range []int{0, 1, 5, 100, 1023} {
+			seen := make([]atomic.Int64, n)
+			Shard(n, workers, func(lo, hi int) {
+				if lo < 0 || hi > n || lo > hi {
+					t.Errorf("bad shard [%d,%d) for n=%d", lo, hi, n)
+				}
+				for i := lo; i < hi; i++ {
+					seen[i].Add(1)
+				}
+			})
+			for i := range seen {
+				if got := seen[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 5, 32} {
+		n := 250
+		seen := make([]atomic.Int64, n)
+		ForEach(n, workers, func(i int) { seen[i].Add(1) })
+		for i := range seen {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestFirstError(t *testing.T) {
+	if FirstError([]error{nil, nil}) != nil {
+		t.Fatal("all-nil should return nil")
+	}
+	e1, e2 := errors.New("one"), errors.New("two")
+	if FirstError([]error{nil, e1, e2}) != e1 {
+		t.Fatal("should return the lowest-index error")
+	}
+}

@@ -6,6 +6,12 @@
 // The simulator is exact for noiseless circuits; noisy execution runs
 // independent trajectories, inserting random Pauli errors after gates
 // and flipping measured bits with the calibrated readout error.
+//
+// Both layers are parallel: gate kernels shard the amplitude array
+// across a goroutine pool once the state is large enough to amortize
+// the fan-out, and noisy shots run on a worker pool with deterministic
+// per-shot RNG streams. Results are bit-identical for a fixed seed
+// regardless of worker count (see Parallelism in run.go).
 package qsim
 
 import (
@@ -15,16 +21,31 @@ import (
 	"math/rand"
 
 	"qcloud/internal/circuit"
+	"qcloud/internal/par"
 )
 
 // MaxQubits bounds the dense simulation (2^24 amplitudes = 256 MiB).
 const MaxQubits = 24
+
+// kernelMinAmps is the state size below which gate kernels stay serial:
+// goroutine fan-out costs a few microseconds, which only pays off once
+// the per-gate sweep is tens of microseconds (>= 14 qubits).
+const kernelMinAmps = 1 << 14
+
+// reduceChunk is the fixed block size for chunked reductions (Norm,
+// ProbOne). Chunk boundaries depend only on the state size — never on
+// the worker count — so the floating-point summation order, and with it
+// every sampled measurement outcome, is identical for any -workers.
+const reduceChunk = 1 << 13
 
 // State is a dense state vector over n qubits. Qubit q corresponds to
 // bit q of the amplitude index (little-endian).
 type State struct {
 	n   int
 	amp []complex128
+	// workers pins the kernel pool size: 0 = process default
+	// (par.Workers()), 1 = serial.
+	workers int
 }
 
 // NewState returns |0...0> over n qubits.
@@ -37,100 +58,169 @@ func NewState(n int) (*State, error) {
 	return s, nil
 }
 
+// SetWorkers pins the kernel worker count for this state (0 = process
+// default, 1 = serial) and returns s for chaining. Kernels write the
+// same amplitudes for any worker count, so this is purely a
+// performance knob.
+func (s *State) SetWorkers(n int) *State {
+	if n < 0 {
+		n = 0
+	}
+	s.workers = n
+	return s
+}
+
 // NumQubits returns the register size.
 func (s *State) NumQubits() int { return s.n }
 
 // Amplitude returns the amplitude of basis state i.
 func (s *State) Amplitude(i int) complex128 { return s.amp[i] }
 
-// Norm returns the squared norm of the state (1 for a valid state).
-func (s *State) Norm() float64 {
+// forRange runs fn over contiguous shards of the amplitude index space,
+// in parallel for large states. Shards only ever write amplitudes whose
+// "low" pair index falls inside their own range (the partner index is
+// skipped by its owning shard), so chunk work is race-free and the
+// result is independent of the worker count.
+func (s *State) forRange(fn func(lo, hi int)) {
+	n := len(s.amp)
+	if n < kernelMinAmps {
+		fn(0, n)
+		return
+	}
+	par.Shard(n, par.Resolve(s.workers), fn)
+}
+
+// reduce sums fn over fixed-size chunks of the index space. Small
+// states use one flat pass; large states always use the same chunk
+// boundaries whether the partials are computed serially or in
+// parallel, keeping the summation order deterministic.
+func (s *State) reduce(fn func(lo, hi int) float64) float64 {
+	n := len(s.amp)
+	if n < kernelMinAmps {
+		return fn(0, n)
+	}
+	nChunks := (n + reduceChunk - 1) / reduceChunk
+	partial := make([]float64, nChunks)
+	par.ForEach(nChunks, par.Resolve(s.workers), func(c int) {
+		lo := c * reduceChunk
+		hi := lo + reduceChunk
+		if hi > n {
+			hi = n
+		}
+		partial[c] = fn(lo, hi)
+	})
 	t := 0.0
-	for _, a := range s.amp {
-		t += real(a)*real(a) + imag(a)*imag(a)
+	for _, p := range partial {
+		t += p
 	}
 	return t
+}
+
+// Norm returns the squared norm of the state (1 for a valid state).
+func (s *State) Norm() float64 {
+	return s.reduce(func(lo, hi int) float64 {
+		t := 0.0
+		for _, a := range s.amp[lo:hi] {
+			t += real(a)*real(a) + imag(a)*imag(a)
+		}
+		return t
+	})
 }
 
 // Apply1Q applies a 2x2 unitary to qubit q.
 func (s *State) Apply1Q(m circuit.Mat2, q int) {
 	bit := 1 << uint(q)
-	for i := 0; i < len(s.amp); i++ {
-		if i&bit != 0 {
-			continue
+	s.forRange(func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i&bit != 0 {
+				continue
+			}
+			j := i | bit
+			a0, a1 := s.amp[i], s.amp[j]
+			s.amp[i] = m[0]*a0 + m[1]*a1
+			s.amp[j] = m[2]*a0 + m[3]*a1
 		}
-		j := i | bit
-		a0, a1 := s.amp[i], s.amp[j]
-		s.amp[i] = m[0]*a0 + m[1]*a1
-		s.amp[j] = m[2]*a0 + m[3]*a1
-	}
+	})
 }
 
 // ApplyCX applies a controlled-X with the given control and target.
 func (s *State) ApplyCX(ctrl, tgt int) {
 	cb, tb := 1<<uint(ctrl), 1<<uint(tgt)
-	for i := 0; i < len(s.amp); i++ {
-		if i&cb != 0 && i&tb == 0 {
-			j := i | tb
-			s.amp[i], s.amp[j] = s.amp[j], s.amp[i]
+	s.forRange(func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i&cb != 0 && i&tb == 0 {
+				j := i | tb
+				s.amp[i], s.amp[j] = s.amp[j], s.amp[i]
+			}
 		}
-	}
+	})
 }
 
 // ApplyCZ applies a controlled-Z on the pair (a, b).
 func (s *State) ApplyCZ(a, b int) {
 	ab, bb := 1<<uint(a), 1<<uint(b)
-	for i := 0; i < len(s.amp); i++ {
-		if i&ab != 0 && i&bb != 0 {
-			s.amp[i] = -s.amp[i]
+	s.forRange(func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i&ab != 0 && i&bb != 0 {
+				s.amp[i] = -s.amp[i]
+			}
 		}
-	}
+	})
 }
 
 // ApplyCPhase applies a controlled phase rotation of theta.
 func (s *State) ApplyCPhase(a, b int, theta float64) {
 	ph := cmplx.Exp(complex(0, theta))
 	ab, bb := 1<<uint(a), 1<<uint(b)
-	for i := 0; i < len(s.amp); i++ {
-		if i&ab != 0 && i&bb != 0 {
-			s.amp[i] *= ph
+	s.forRange(func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i&ab != 0 && i&bb != 0 {
+				s.amp[i] *= ph
+			}
 		}
-	}
+	})
 }
 
 // ApplySWAP exchanges qubits a and b.
 func (s *State) ApplySWAP(a, b int) {
 	ab, bb := 1<<uint(a), 1<<uint(b)
-	for i := 0; i < len(s.amp); i++ {
-		// Visit each (01) index once; its partner is (10).
-		if i&ab != 0 && i&bb == 0 {
-			j := (i &^ ab) | bb
-			s.amp[i], s.amp[j] = s.amp[j], s.amp[i]
+	s.forRange(func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			// Visit each (01) index once; its partner is (10).
+			if i&ab != 0 && i&bb == 0 {
+				j := (i &^ ab) | bb
+				s.amp[i], s.amp[j] = s.amp[j], s.amp[i]
+			}
 		}
-	}
+	})
 }
 
 // ApplyCCX applies a Toffoli gate.
 func (s *State) ApplyCCX(c1, c2, tgt int) {
 	b1, b2, tb := 1<<uint(c1), 1<<uint(c2), 1<<uint(tgt)
-	for i := 0; i < len(s.amp); i++ {
-		if i&b1 != 0 && i&b2 != 0 && i&tb == 0 {
-			j := i | tb
-			s.amp[i], s.amp[j] = s.amp[j], s.amp[i]
+	s.forRange(func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i&b1 != 0 && i&b2 != 0 && i&tb == 0 {
+				j := i | tb
+				s.amp[i], s.amp[j] = s.amp[j], s.amp[i]
+			}
 		}
-	}
+	})
 }
 
 // ProbOne returns the probability of measuring qubit q as 1.
 func (s *State) ProbOne(q int) float64 {
 	bit := 1 << uint(q)
-	p := 0.0
-	for i, a := range s.amp {
-		if i&bit != 0 {
-			p += real(a)*real(a) + imag(a)*imag(a)
+	return s.reduce(func(lo, hi int) float64 {
+		p := 0.0
+		for i := lo; i < hi; i++ {
+			if i&bit != 0 {
+				a := s.amp[i]
+				p += real(a)*real(a) + imag(a)*imag(a)
+			}
 		}
-	}
-	return p
+		return p
+	})
 }
 
 // MeasureQubit samples qubit q, collapses the state, renormalizes, and
@@ -155,13 +245,15 @@ func (s *State) collapse(q, outcome int, p1 float64) {
 		p = 1e-300 // numerically impossible branch; avoid div by zero
 	}
 	scale := complex(1/math.Sqrt(p), 0)
-	for i := range s.amp {
-		if (i&bit != 0) != (outcome == 1) {
-			s.amp[i] = 0
-		} else {
-			s.amp[i] *= scale
+	s.forRange(func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if (i&bit != 0) != (outcome == 1) {
+				s.amp[i] = 0
+			} else {
+				s.amp[i] *= scale
+			}
 		}
-	}
+	})
 }
 
 // ResetQubit measures q and flips it to |0> if needed.
@@ -201,8 +293,11 @@ func (s *State) ApplyGate(g circuit.Gate) error {
 // Probabilities returns the |amp|² distribution over basis states.
 func (s *State) Probabilities() []float64 {
 	ps := make([]float64, len(s.amp))
-	for i, a := range s.amp {
-		ps[i] = real(a)*real(a) + imag(a)*imag(a)
-	}
+	s.forRange(func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a := s.amp[i]
+			ps[i] = real(a)*real(a) + imag(a)*imag(a)
+		}
+	})
 	return ps
 }

@@ -6,7 +6,26 @@ import (
 	"strings"
 
 	"qcloud/internal/circuit"
+	"qcloud/internal/par"
 )
+
+// Parallelism configures the worker pools of a simulation run. Workers
+// is the goroutine target for both the amplitude-kernel shards and the
+// trajectory shot pool: 0 takes the process-wide default
+// (par.Workers(), i.e. runtime.NumCPU() unless a -workers flag
+// overrode it) and 1 forces fully serial execution.
+//
+// Determinism contract: for a fixed caller seed, Run produces
+// bit-identical Counts for every worker count. Kernels write the same
+// amplitudes regardless of sharding, reductions use size-dependent (not
+// worker-dependent) chunk boundaries, and each noisy shot derives its
+// own RNG stream from the caller's generator rather than sharing it.
+type Parallelism struct {
+	Workers int
+}
+
+// workers resolves the effective worker count.
+func (p Parallelism) workers() int { return par.Resolve(p.Workers) }
 
 // Counts maps classical bitstrings (clbit NClbits-1 leftmost, Qiskit
 // style) to observed frequencies.
@@ -31,15 +50,26 @@ func (c Counts) Prob(bits string) float64 {
 }
 
 // MostFrequent returns the modal bitstring (ties broken
-// lexicographically) and its count.
+// lexicographically) and its count. An empty Counts map has no mode:
+// it returns ("", 0) so the count is usable as a frequency without a
+// sentinel check.
 func (c Counts) MostFrequent() (string, int) {
-	best, bestN := "", -1
+	best, bestN := "", 0
+	first := true
 	for b, n := range c {
-		if n > bestN || (n == bestN && b < best) {
+		if first || n > bestN || (n == bestN && b < best) {
 			best, bestN = b, n
+			first = false
 		}
 	}
 	return best, bestN
+}
+
+// merge adds other's observations into c.
+func (c Counts) merge(other Counts) {
+	for b, n := range other {
+		c[b] += n
+	}
 }
 
 // bitstring renders clbits as a string with the highest clbit leftmost.
@@ -56,10 +86,17 @@ func bitstring(clbits []int) string {
 }
 
 // Run executes circuit c for the given number of shots and returns the
-// measurement counts. With a nil noise model and no mid-circuit
-// measurement/reset, a single state-vector evolution is sampled
-// multinomially; otherwise each shot is an independent trajectory.
+// measurement counts, using the process-default parallelism. With a
+// nil noise model and no mid-circuit measurement/reset, a single
+// state-vector evolution is sampled multinomially; otherwise each shot
+// is an independent trajectory.
 func Run(c *circuit.Circuit, shots int, noise *NoiseModel, r *rand.Rand) (Counts, error) {
+	return RunOpts(c, shots, noise, r, Parallelism{})
+}
+
+// RunOpts is Run with an explicit Parallelism. Counts are bit-identical
+// across worker counts for the same caller seed.
+func RunOpts(c *circuit.Circuit, shots int, noise *NoiseModel, r *rand.Rand, p Parallelism) (Counts, error) {
 	if shots <= 0 {
 		return nil, fmt.Errorf("qsim: shots must be positive, got %d", shots)
 	}
@@ -67,9 +104,9 @@ func Run(c *circuit.Circuit, shots int, noise *NoiseModel, r *rand.Rand) (Counts
 		return nil, fmt.Errorf("qsim: circuit touches qubits beyond the %d-qubit dense limit", MaxQubits)
 	}
 	if noise == nil && isTerminalMeasureOnly(c) {
-		return runExact(c, shots, r)
+		return runExact(c, shots, r, p)
 	}
-	return runTrajectories(c, shots, noise, r)
+	return runTrajectories(c, shots, noise, r, p)
 }
 
 // usedQubits returns 1 + the largest qubit index referenced (compiled
@@ -103,13 +140,15 @@ func isTerminalMeasureOnly(c *circuit.Circuit) bool {
 	return true
 }
 
-// runExact evolves the state once and samples the terminal measurement
-// distribution multinomially.
-func runExact(c *circuit.Circuit, shots int, r *rand.Rand) (Counts, error) {
+// runExact evolves the state once (with parallel gate kernels) and
+// samples the terminal measurement distribution multinomially from the
+// caller's generator, exactly as the serial engine did.
+func runExact(c *circuit.Circuit, shots int, r *rand.Rand, p Parallelism) (Counts, error) {
 	st, err := NewState(c.NQubits)
 	if err != nil {
 		return nil, err
 	}
+	st.SetWorkers(p.Workers)
 	var measures []circuit.Gate
 	for _, g := range c.Gates {
 		if g.Op == circuit.OpMeasure {
@@ -154,39 +193,93 @@ func runExact(c *circuit.Circuit, shots int, r *rand.Rand) (Counts, error) {
 	return counts, nil
 }
 
-// runTrajectories runs each shot as an independent noisy trajectory.
-func runTrajectories(c *circuit.Circuit, shots int, noise *NoiseModel, r *rand.Rand) (Counts, error) {
-	counts := make(Counts)
-	clbits := make([]int, c.NClbits)
-	for s := 0; s < shots; s++ {
-		st, err := NewState(c.NQubits)
-		if err != nil {
-			return nil, err
+// shotSeed derives shot s's RNG seed from the run's base seed with a
+// splitmix64 finalizer, giving every shot a well-separated stream that
+// depends only on (base, s) — never on which worker runs it.
+func shotSeed(base int64, s int) int64 {
+	z := uint64(base) + uint64(s+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// runTrajectories runs each shot as an independent noisy trajectory on
+// a worker pool. The caller's generator contributes one Int63 draw as
+// the base seed; each shot then uses its own derived stream, so the
+// merged Counts are identical for any worker count.
+func runTrajectories(c *circuit.Circuit, shots int, noise *NoiseModel, r *rand.Rand, p Parallelism) (Counts, error) {
+	base := r.Int63()
+	workers := p.workers()
+	if workers > shots {
+		workers = shots
+	}
+	// Shot-level parallelism saturates the CPUs whenever it is active;
+	// per-trajectory states then keep their kernels serial. A lone shot
+	// (or workers=1 overall) inherits the run's kernel parallelism.
+	kernelWorkers := p.Workers
+	if workers > 1 {
+		kernelWorkers = 1
+	}
+
+	type shard struct {
+		counts Counts
+		err    error
+	}
+	nShards := workers
+	if nShards < 1 {
+		nShards = 1
+	}
+	shards := make([]shard, nShards)
+	per := (shots + nShards - 1) / nShards
+	par.ForEach(nShards, workers, func(w int) {
+		lo, hi := w*per, (w+1)*per
+		if hi > shots {
+			hi = shots
 		}
-		for i := range clbits {
-			clbits[i] = 0
-		}
-		for _, g := range c.Gates {
-			switch g.Op {
-			case circuit.OpMeasure:
-				bit := st.MeasureQubit(g.Qubits[0], r)
-				if noise != nil && r.Float64() < noise.ReadoutError(g.Qubits[0]) {
-					bit ^= 1
-				}
-				clbits[g.Clbit] = bit
-			case circuit.OpReset:
-				st.ResetQubit(g.Qubits[0], r)
-			case circuit.OpBarrier:
-			default:
-				if err := st.ApplyGate(g); err != nil {
-					return nil, err
-				}
-				if noise != nil {
-					noise.applyAfterGate(st, g, r)
+		local := make(Counts)
+		clbits := make([]int, c.NClbits)
+		for s := lo; s < hi; s++ {
+			sr := rand.New(rand.NewSource(shotSeed(base, s)))
+			st, err := NewState(c.NQubits)
+			if err != nil {
+				shards[w].err = err
+				return
+			}
+			st.SetWorkers(kernelWorkers)
+			for i := range clbits {
+				clbits[i] = 0
+			}
+			for _, g := range c.Gates {
+				switch g.Op {
+				case circuit.OpMeasure:
+					bit := st.MeasureQubit(g.Qubits[0], sr)
+					if noise != nil && sr.Float64() < noise.ReadoutError(g.Qubits[0]) {
+						bit ^= 1
+					}
+					clbits[g.Clbit] = bit
+				case circuit.OpReset:
+					st.ResetQubit(g.Qubits[0], sr)
+				case circuit.OpBarrier:
+				default:
+					if err := st.ApplyGate(g); err != nil {
+						shards[w].err = err
+						return
+					}
+					if noise != nil {
+						noise.applyAfterGate(st, g, sr)
+					}
 				}
 			}
+			local[bitstring(clbits)]++
 		}
-		counts[bitstring(clbits)]++
+		shards[w].counts = local
+	})
+	counts := make(Counts)
+	for _, sh := range shards {
+		if sh.err != nil {
+			return nil, sh.err
+		}
+		counts.merge(sh.counts)
 	}
 	return counts, nil
 }
