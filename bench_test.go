@@ -293,26 +293,36 @@ func BenchmarkCompileQFTSuite(b *testing.B) {
 	}
 }
 
+// simModes are the execution variants the simulator benchmarks sweep:
+// fully serial, a 4-worker pool, and the pre-fusion engine (serial) so
+// the fusion prepass's win is measured in isolation. Counts are
+// bit-identical across all three.
+var simModes = []struct {
+	name string
+	par  qsim.Parallelism
+}{
+	{"serial", qsim.Parallelism{Workers: 1}},
+	{"parallel-4", qsim.Parallelism{Workers: 4}},
+	{"serial-unfused", qsim.Parallelism{Workers: 1, DisableFusion: true}},
+}
+
 // BenchmarkStatevectorScaling measures the dense simulator's gate
 // throughput across register widths (the substrate cost behind the
-// Fig 7 fidelity experiments). Each width runs a serial and a
-// 4-worker-kernel variant; widths below the sharding threshold (14q)
-// are serial either way, while 16q+ records the kernel-pool speedup.
-// Counts are bit-identical between the two variants.
+// Fig 7 fidelity experiments). Each width runs serial, 4-worker-kernel
+// and unfused variants; widths below the sharding threshold (14q) are
+// serial either way, while 16q+ records the kernel-pool speedup.
+// Counts are bit-identical between the variants.
 func BenchmarkStatevectorScaling(b *testing.B) {
 	for _, n := range []int{8, 12, 16, 20, 22} {
 		n := n
-		for _, mode := range []struct {
-			name    string
-			workers int
-		}{{"serial", 1}, {"parallel-4", 4}} {
+		for _, mode := range simModes {
 			mode := mode
 			b.Run(fmt.Sprintf("%dq/%s", n, mode.name), func(b *testing.B) {
 				circ := gens.QFTBench(n)
 				r := rand.New(rand.NewSource(1))
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, err := qsim.RunOpts(circ, 1, nil, r, qsim.Parallelism{Workers: mode.workers}); err != nil {
+					if _, err := qsim.RunOpts(circ, 1, nil, r, mode.par); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -322,21 +332,19 @@ func BenchmarkStatevectorScaling(b *testing.B) {
 }
 
 // BenchmarkTrajectoryShots measures the noisy shot pool: the same
-// 10-qubit noisy benchmark dispatched serially vs across 4 workers.
-// Per-shot RNG streams make the merged counts identical in both modes.
+// 10-qubit noisy benchmark dispatched serially, across 4 workers, and
+// through the pre-fusion engine. Per-shot RNG streams make the merged
+// counts identical in all modes.
 func BenchmarkTrajectoryShots(b *testing.B) {
 	circ := gens.QFTBench(10)
 	noise := qsim.UniformNoise(0.001, 0.01, 0.02)
-	for _, mode := range []struct {
-		name    string
-		workers int
-	}{{"serial", 1}, {"parallel-4", 4}} {
+	for _, mode := range simModes {
 		mode := mode
 		b.Run(mode.name, func(b *testing.B) {
 			r := rand.New(rand.NewSource(2))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := qsim.RunOpts(circ, 256, noise, r, qsim.Parallelism{Workers: mode.workers}); err != nil {
+				if _, err := qsim.RunOpts(circ, 256, noise, r, mode.par); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,0 +1,311 @@
+// qcloud-bench runs the simulator figure benchmarks (the Fig 7
+// probability-of-success substrate: statevector scaling, trajectory
+// shot throughput, and the five-machine fidelity sweep) and emits a
+// machine-readable BENCH_<date>.json with ns/op, allocs/op and
+// serial-vs-parallel / fused-vs-unfused speedups per figure. CI runs it
+// on every push and uploads the JSON as a workflow artifact; the
+// committed BENCH_*.json files record how those numbers moved across
+// PRs (pass a previous report with -baseline to embed it).
+//
+// Usage:
+//
+//	qcloud-bench -iters 5 -out BENCH_2026-07-29.json
+//	qcloud-bench -iters 1 -maxwidth 16 -md            # quick CI smoke
+//	qcloud-bench -baseline BENCH_old.json -md         # compare + embed
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"qcloud/internal/analysis"
+	"qcloud/internal/backend"
+	"qcloud/internal/circuit/gens"
+	"qcloud/internal/par"
+	"qcloud/internal/qsim"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Speedup pairs two variants of the same figure benchmark.
+type Speedup struct {
+	Figure  string  `json:"figure"`
+	Against string  `json:"against"`
+	BaseNs  float64 `json:"base_ns_per_op"`
+	NewNs   float64 `json:"ns_per_op"`
+	Speedup float64 `json:"speedup"`
+}
+
+// Report is the emitted BENCH_*.json document.
+type Report struct {
+	Label     string    `json:"label,omitempty"`
+	Date      string    `json:"date"`
+	GoVersion string    `json:"go_version"`
+	NumCPU    int       `json:"num_cpu"`
+	Iters     int       `json:"iterations_per_benchmark"`
+	Results   []Result  `json:"results"`
+	Speedups  []Speedup `json:"speedups"`
+	// Baseline embeds a previous report (typically the pre-change
+	// numbers) so one committed file records both sides of a change.
+	Baseline *Report `json:"baseline,omitempty"`
+}
+
+func (r *Report) find(name string) *Result {
+	for i := range r.Results {
+		if r.Results[i].Name == name {
+			return &r.Results[i]
+		}
+	}
+	return nil
+}
+
+// measure times iters runs of f with the GC quiesced, recording
+// wall-clock and allocation deltas per op.
+func measure(name string, iters int, f func() error) (Result, error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := f(); err != nil {
+			return Result{}, fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return Result{
+		Name:        name,
+		Iterations:  iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(iters),
+		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(iters),
+	}, nil
+}
+
+// simModes mirrors the bench_test.go variants: serial, a 4-worker
+// pool, and the pre-fusion engine.
+var simModes = []struct {
+	name string
+	par  qsim.Parallelism
+}{
+	{"serial", qsim.Parallelism{Workers: 1}},
+	{"parallel-4", qsim.Parallelism{Workers: 4}},
+	{"serial-unfused", qsim.Parallelism{Workers: 1, DisableFusion: true}},
+}
+
+func run(iters, maxWidth, shots int) (*Report, error) {
+	rep := &Report{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Iters:     iters,
+	}
+	add := func(res Result, err error) error {
+		if err != nil {
+			return err
+		}
+		rep.Results = append(rep.Results, res)
+		log.Printf("%-44s %14.0f ns/op %9d allocs/op", res.Name, res.NsPerOp, res.AllocsPerOp)
+		return nil
+	}
+
+	// Statevector scaling: exact QFT evolution across register widths.
+	for _, n := range []int{8, 12, 16, 20, 22} {
+		if n > maxWidth {
+			continue
+		}
+		circ := gens.QFTBench(n)
+		for _, mode := range simModes {
+			mode := mode
+			r := rand.New(rand.NewSource(1))
+			name := fmt.Sprintf("StatevectorScaling/%dq/%s", n, mode.name)
+			err := add(measure(name, iters, func() error {
+				_, err := qsim.RunOpts(circ, 1, nil, r, mode.par)
+				return err
+			}))
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Trajectory shots: the noisy 10q POS benchmark.
+	trajCirc := gens.QFTBench(10)
+	noise := qsim.UniformNoise(0.001, 0.01, 0.02)
+	for _, mode := range simModes {
+		mode := mode
+		r := rand.New(rand.NewSource(2))
+		name := "TrajectoryShots/" + mode.name
+		err := add(measure(name, iters, func() error {
+			_, err := qsim.RunOpts(trajCirc, shots, noise, r, mode.par)
+			return err
+		}))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Fig 7: the five-machine fidelity sweep (compile + noisy POS).
+	byName := backend.FleetByName()
+	var machines []*backend.Machine
+	for _, n := range []string{"ibmq_casablanca", "ibmq_toronto", "ibmq_guadalupe", "ibmq_rome", "ibmq_manhattan"} {
+		machines = append(machines, byName[n])
+	}
+	at := time.Date(2021, 3, 10, 12, 0, 0, 0, time.UTC)
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel-4", 4}} {
+		mode := mode
+		par.SetWorkers(mode.workers)
+		seed := int64(0)
+		name := "Fig07Fidelity/" + mode.name
+		err := add(measure(name, iters, func() error {
+			seed++
+			_, err := analysis.FidelityVsCXMetrics(machines, 4, 300, at, seed)
+			return err
+		}))
+		par.SetWorkers(0)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Kernel crossover probe: the same 16q exact evolution with the
+	// parallel threshold forced low, default, and high — the knob
+	// Parallelism.KernelMinAmps exposes.
+	if maxWidth >= 16 {
+		circ := gens.QFTBench(16)
+		for _, minAmps := range []int{1 << 12, 1 << 14, 1 << 16} {
+			minAmps := minAmps
+			r := rand.New(rand.NewSource(3))
+			name := fmt.Sprintf("KernelCrossover/16q/minamps-%d", minAmps)
+			err := add(measure(name, iters, func() error {
+				_, err := qsim.RunOpts(circ, 1, nil, r, qsim.Parallelism{Workers: 4, KernelMinAmps: minAmps})
+				return err
+			}))
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Pair the variants into per-figure speedups.
+	pairs := []struct{ figure, base, opt, against string }{
+		{"TrajectoryShots", "TrajectoryShots/serial", "TrajectoryShots/parallel-4", "serial"},
+		{"TrajectoryShots", "TrajectoryShots/serial-unfused", "TrajectoryShots/serial", "unfused"},
+		{"Fig07Fidelity", "Fig07Fidelity/serial", "Fig07Fidelity/parallel-4", "serial"},
+	}
+	for _, n := range []int{16, 20, 22} {
+		if n > maxWidth {
+			continue
+		}
+		fig := fmt.Sprintf("StatevectorScaling/%dq", n)
+		pairs = append(pairs,
+			struct{ figure, base, opt, against string }{fig, fig + "/serial", fig + "/parallel-4", "serial"},
+			struct{ figure, base, opt, against string }{fig, fig + "/serial-unfused", fig + "/serial", "unfused"},
+		)
+	}
+	for _, p := range pairs {
+		base, opt := rep.find(p.base), rep.find(p.opt)
+		if base == nil || opt == nil || opt.NsPerOp == 0 {
+			continue
+		}
+		rep.Speedups = append(rep.Speedups, Speedup{
+			Figure:  p.figure,
+			Against: p.against,
+			BaseNs:  base.NsPerOp,
+			NewNs:   opt.NsPerOp,
+			Speedup: base.NsPerOp / opt.NsPerOp,
+		})
+	}
+	return rep, nil
+}
+
+// markdown renders the report (vs its baseline when embedded) as the
+// README perf table.
+func markdown(rep *Report) string {
+	out := "| Benchmark | ns/op | allocs/op |"
+	if rep.Baseline != nil {
+		out += " baseline ns/op | baseline allocs/op | vs baseline |"
+	}
+	out += "\n|---|---|---|"
+	if rep.Baseline != nil {
+		out += "---|---|---|"
+	}
+	out += "\n"
+	for _, r := range rep.Results {
+		out += fmt.Sprintf("| %s | %.0f | %d |", r.Name, r.NsPerOp, r.AllocsPerOp)
+		if rep.Baseline != nil {
+			if b := rep.Baseline.find(r.Name); b != nil && r.NsPerOp > 0 {
+				out += fmt.Sprintf(" %.0f | %d | %.2fx |", b.NsPerOp, b.AllocsPerOp, b.NsPerOp/r.NsPerOp)
+			} else {
+				out += " — | — | — |"
+			}
+		}
+		out += "\n"
+	}
+	return out
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qcloud-bench: ")
+	var (
+		iters    = flag.Int("iters", 5, "iterations per benchmark (fixed, so CI timing is predictable)")
+		maxWidth = flag.Int("maxwidth", 22, "largest statevector width to run (lower it for quick smoke runs)")
+		shots    = flag.Int("shots", 256, "trajectory benchmark shot count")
+		outPath  = flag.String("out", "", "output JSON path (default BENCH_<date>.json)")
+		baseline = flag.String("baseline", "", "previous report to embed under \"baseline\" for comparison")
+		label    = flag.String("label", "", "free-form label recorded in the report (e.g. a PR number)")
+		md       = flag.Bool("md", false, "also print the results as a markdown table")
+	)
+	flag.Parse()
+
+	rep, err := run(*iters, *maxWidth, *shots)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep.Label = *label
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var base Report
+		if err := json.Unmarshal(data, &base); err != nil {
+			log.Fatalf("parsing %s: %v", *baseline, err)
+		}
+		base.Baseline = nil // keep one level of history per file
+		rep.Baseline = &base
+	}
+
+	path := *outPath
+	if path == "" {
+		path = "BENCH_" + rep.Date + ".json"
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", path)
+	if *md {
+		fmt.Println(markdown(rep))
+	}
+}

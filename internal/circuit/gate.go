@@ -90,6 +90,19 @@ func (o Op) NumParams() int {
 // paper's fidelity analysis (Fig 7) is built on counting these.
 func (o Op) IsTwoQubit() bool { return o.NumQubits() == 2 }
 
+// IsDiagonal reports whether the op's matrix is diagonal in the
+// computational basis (phase-only). Diagonal gates commute with each
+// other, so a run of them collapses into a single phase-table sweep in
+// the simulator's fusion prepass.
+func (o Op) IsDiagonal() bool {
+	switch o {
+	case OpI, OpZ, OpS, OpSdg, OpT, OpTdg, OpRZ, OpCZ, OpCPhase:
+		return true
+	default:
+		return false
+	}
+}
+
 // IsUnitary reports whether the op is a unitary gate (as opposed to
 // measurement, reset, or barrier).
 func (o Op) IsUnitary() bool {

@@ -73,6 +73,19 @@ func GateMat2(g Gate) (Mat2, bool) {
 	}
 }
 
+// DiagEntries returns the diagonal (d0, d1) of a single-qubit diagonal
+// gate, or ok=false when the op is not a 1q diagonal (see Op.IsDiagonal).
+func DiagEntries(g Gate) (d0, d1 complex128, ok bool) {
+	if !g.Op.IsDiagonal() || g.Op.NumQubits() != 1 {
+		return 0, 0, false
+	}
+	m, ok := GateMat2(g)
+	if !ok {
+		return 0, 0, false
+	}
+	return m[0], m[3], true
+}
+
 // U3Mat returns the Qiskit U(θ,φ,λ) matrix.
 func U3Mat(theta, phi, lambda float64) Mat2 {
 	c := complex(math.Cos(theta/2), 0)

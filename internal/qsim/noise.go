@@ -29,7 +29,11 @@ func (n *NoiseModel) ReadoutError(q int) float64 {
 }
 
 // applyAfterGate injects a random Pauli error after gate g with the
-// modeled probability.
+// modeled probability. It is the reference semantics of the noise
+// channel: the fused executor reproduces exactly this draw sequence and
+// Pauli placement from precomputed per-gate probabilities (see fuse.go
+// and the equivalence tests), so the per-shot hot path never calls the
+// model closures or rebuilds Pauli matrices.
 func (n *NoiseModel) applyAfterGate(st *State, g circuit.Gate, r *rand.Rand) {
 	var p float64
 	switch {

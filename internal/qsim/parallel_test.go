@@ -80,10 +80,10 @@ func TestKernelShardingMatchesSerial(t *testing.T) {
 	serial := build(1)
 	for _, w := range []int{2, 3, runtime.NumCPU()} {
 		parallel := build(w)
-		for i := range serial.amp {
-			if serial.amp[i] != parallel.amp[i] {
+		for i := range serial.re {
+			if serial.Amplitude(i) != parallel.Amplitude(i) {
 				t.Fatalf("workers=%d: amplitude %d differs: %v vs %v",
-					w, i, serial.amp[i], parallel.amp[i])
+					w, i, serial.Amplitude(i), parallel.Amplitude(i))
 			}
 		}
 	}

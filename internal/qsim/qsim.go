@@ -7,11 +7,15 @@
 // independent trajectories, inserting random Pauli errors after gates
 // and flipping measured bits with the calibrated readout error.
 //
-// Both layers are parallel: gate kernels shard the amplitude array
-// across a goroutine pool once the state is large enough to amortize
-// the fan-out, and noisy shots run on a worker pool with deterministic
-// per-shot RNG streams. Results are bit-identical for a fixed seed
-// regardless of worker count (see Parallelism in run.go).
+// Execution is staged for throughput: circuits are compiled once per
+// Run into a fused op stream (see fuse.go) so the per-shot loop does no
+// map lookups or matrix construction, amplitudes live in split
+// real/imag (SoA) arrays so kernel sweeps are flat float64 loops, gate
+// kernels shard the amplitude array across a goroutine pool once the
+// state is large enough to amortize the fan-out, and noisy shots run on
+// a worker pool with deterministic per-shot RNG streams over pooled
+// state buffers. Results are bit-identical for a fixed seed regardless
+// of worker count (see Parallelism in run.go).
 package qsim
 
 import (
@@ -27,9 +31,10 @@ import (
 // MaxQubits bounds the dense simulation (2^24 amplitudes = 256 MiB).
 const MaxQubits = 24
 
-// kernelMinAmps is the state size below which gate kernels stay serial:
-// goroutine fan-out costs a few microseconds, which only pays off once
-// the per-gate sweep is tens of microseconds (>= 14 qubits).
+// kernelMinAmps is the default state size below which gate kernels stay
+// serial: goroutine fan-out costs a few microseconds, which only pays
+// off once the per-gate sweep is tens of microseconds (>= 14 qubits).
+// Parallelism.KernelMinAmps overrides it per run.
 const kernelMinAmps = 1 << 14
 
 // reduceChunk is the fixed block size for chunked reductions (Norm,
@@ -39,13 +44,21 @@ const kernelMinAmps = 1 << 14
 const reduceChunk = 1 << 13
 
 // State is a dense state vector over n qubits. Qubit q corresponds to
-// bit q of the amplitude index (little-endian).
+// bit q of the amplitude index (little-endian). Amplitudes are stored
+// as split real/imag arrays (structure-of-arrays) so the gate kernels
+// compile to flat float64 sweeps.
 type State struct {
-	n   int
-	amp []complex128
+	n      int
+	re, im []float64
 	// workers pins the kernel pool size: 0 = process default
 	// (par.Workers()), 1 = serial.
 	workers int
+	// minAmps overrides the parallel/chunked threshold (0 = the
+	// kernelMinAmps default).
+	minAmps int
+	// partial is scratch for chunked reductions, reused across calls so
+	// the steady-state trajectory loop stays allocation-free.
+	partial []float64
 }
 
 // NewState returns |0...0> over n qubits.
@@ -53,9 +66,17 @@ func NewState(n int) (*State, error) {
 	if n < 1 || n > MaxQubits {
 		return nil, fmt.Errorf("qsim: %d qubits outside [1,%d]", n, MaxQubits)
 	}
-	s := &State{n: n, amp: make([]complex128, 1<<uint(n))}
-	s.amp[0] = 1
+	s := &State{n: n, re: make([]float64, 1<<uint(n)), im: make([]float64, 1<<uint(n))}
+	s.re[0] = 1
 	return s, nil
+}
+
+// Reset returns the state to |0...0> in place, so trajectory workers
+// can reuse one buffer across shots instead of allocating per shot.
+func (s *State) Reset() {
+	clear(s.re)
+	clear(s.im)
+	s.re[0] = 1
 }
 
 // SetWorkers pins the kernel worker count for this state (0 = process
@@ -70,45 +91,96 @@ func (s *State) SetWorkers(n int) *State {
 	return s
 }
 
+// SetKernelMinAmps overrides the state size at which kernels go
+// parallel and reductions go chunked (0 restores the package default).
+// Changing it moves the serial/parallel crossover — and, for states
+// larger than reduceChunk, the reduction chunking — so it is a
+// performance knob that is part of the determinism contract's fixed
+// configuration (see Parallelism).
+func (s *State) SetKernelMinAmps(n int) *State {
+	if n < 0 {
+		n = 0
+	}
+	s.minAmps = n
+	return s
+}
+
+// kernelMin resolves the effective parallel threshold.
+func (s *State) kernelMin() int {
+	if s.minAmps > 0 {
+		return s.minAmps
+	}
+	return kernelMinAmps
+}
+
+// serialKernel reports whether kernel sweeps should run in place on the
+// calling goroutine. The serial path is taken branch-first (not through
+// a closure) so small-state gate application does not allocate.
+func (s *State) serialKernel() bool {
+	return len(s.re) < s.kernelMin() || par.Resolve(s.workers) <= 1
+}
+
+// shard fans a kernel body out across the amplitude index space.
+// Shards only ever write amplitudes whose "low" pair index falls inside
+// their own range (the partner index is skipped by its owning shard),
+// so chunk work is race-free and the result is independent of the
+// worker count.
+func (s *State) shard(fn func(lo, hi int)) {
+	par.Shard(len(s.re), par.Resolve(s.workers), fn)
+}
+
+// forRange runs fn over contiguous shards of the amplitude index space,
+// in parallel for large states. Used by cold-path sweeps; hot kernels
+// branch on serialKernel directly to keep the serial path closure-free.
+func (s *State) forRange(fn func(lo, hi int)) {
+	if len(s.re) < s.kernelMin() {
+		fn(0, len(s.re))
+		return
+	}
+	s.shard(fn)
+}
+
 // NumQubits returns the register size.
 func (s *State) NumQubits() int { return s.n }
 
 // Amplitude returns the amplitude of basis state i.
-func (s *State) Amplitude(i int) complex128 { return s.amp[i] }
+func (s *State) Amplitude(i int) complex128 { return complex(s.re[i], s.im[i]) }
 
-// forRange runs fn over contiguous shards of the amplitude index space,
-// in parallel for large states. Shards only ever write amplitudes whose
-// "low" pair index falls inside their own range (the partner index is
-// skipped by its owning shard), so chunk work is race-free and the
-// result is independent of the worker count.
-func (s *State) forRange(fn func(lo, hi int)) {
-	n := len(s.amp)
-	if n < kernelMinAmps {
-		fn(0, n)
-		return
-	}
-	par.Shard(n, par.Resolve(s.workers), fn)
-}
+// reduceFn is a chunk reducer: a partial sum over [lo, hi) of some
+// per-amplitude quantity, parameterized by one int (e.g. a qubit bit
+// mask). Implementations are method expressions so passing them does
+// not allocate.
+type reduceFn func(s *State, arg, lo, hi int) float64
 
 // reduce sums fn over fixed-size chunks of the index space. Small
 // states use one flat pass; large states always use the same chunk
 // boundaries whether the partials are computed serially or in
 // parallel, keeping the summation order deterministic.
-func (s *State) reduce(fn func(lo, hi int) float64) float64 {
-	n := len(s.amp)
-	if n < kernelMinAmps {
-		return fn(0, n)
+func (s *State) reduce(fn reduceFn, arg int) float64 {
+	n := len(s.re)
+	if n < s.kernelMin() {
+		return fn(s, arg, 0, n)
 	}
 	nChunks := (n + reduceChunk - 1) / reduceChunk
-	partial := make([]float64, nChunks)
-	par.ForEach(nChunks, par.Resolve(s.workers), func(c int) {
+	if cap(s.partial) < nChunks {
+		s.partial = make([]float64, nChunks)
+	}
+	partial := s.partial[:nChunks]
+	chunk := func(c int) {
 		lo := c * reduceChunk
 		hi := lo + reduceChunk
 		if hi > n {
 			hi = n
 		}
-		partial[c] = fn(lo, hi)
-	})
+		partial[c] = fn(s, arg, lo, hi)
+	}
+	if workers := par.Resolve(s.workers); workers <= 1 {
+		for c := 0; c < nChunks; c++ {
+			chunk(c)
+		}
+	} else {
+		par.ForEach(nChunks, workers, chunk)
+	}
 	t := 0.0
 	for _, p := range partial {
 		t += p
@@ -116,111 +188,231 @@ func (s *State) reduce(fn func(lo, hi int) float64) float64 {
 	return t
 }
 
+// normChunk is the Norm reducer (arg unused).
+func (s *State) normChunk(_, lo, hi int) float64 {
+	t := 0.0
+	re, im := s.re, s.im
+	for i := lo; i < hi; i++ {
+		t += re[i]*re[i] + im[i]*im[i]
+	}
+	return t
+}
+
 // Norm returns the squared norm of the state (1 for a valid state).
 func (s *State) Norm() float64 {
-	return s.reduce(func(lo, hi int) float64 {
-		t := 0.0
-		for _, a := range s.amp[lo:hi] {
-			t += real(a)*real(a) + imag(a)*imag(a)
+	return s.reduce((*State).normChunk, 0)
+}
+
+// apply1QRange applies a 2x2 unitary to qubit q over the shard whose
+// "low" pair indices fall in [lo, hi). Pairs are walked block by block
+// (the bit-clear half of each 2*bit-aligned block) so the inner loop is
+// a branch-free sequential sweep instead of a skip-half scan.
+func (s *State) apply1QRange(m circuit.Mat2, q, lo, hi int) {
+	bit := 1 << uint(q)
+	m00r, m00i := real(m[0]), imag(m[0])
+	m01r, m01i := real(m[1]), imag(m[1])
+	m10r, m10i := real(m[2]), imag(m[2])
+	m11r, m11i := real(m[3]), imag(m[3])
+	re, im := s.re, s.im
+	step := bit << 1
+	for base := lo &^ (step - 1); base < hi; base += step {
+		first, last := base, base+bit
+		if first < lo {
+			first = lo
 		}
-		return t
-	})
+		if last > hi {
+			last = hi
+		}
+		for i := first; i < last; i++ {
+			j := i | bit
+			ar, ai := re[i], im[i]
+			br, bi := re[j], im[j]
+			re[i] = m00r*ar - m00i*ai + m01r*br - m01i*bi
+			im[i] = m00r*ai + m00i*ar + m01r*bi + m01i*br
+			re[j] = m10r*ar - m10i*ai + m11r*br - m11i*bi
+			im[j] = m10r*ai + m10i*ar + m11r*bi + m11i*br
+		}
+	}
+}
+
+// apply1QRealRange is apply1QRange specialized for matrices with no
+// imaginary parts (H, X, RY, ...): half the multiplies, and the real
+// and imaginary state halves decouple into independent SIMD-friendly
+// streams.
+func (s *State) apply1QRealRange(m circuit.Mat2, q, lo, hi int) {
+	bit := 1 << uint(q)
+	m00, m01 := real(m[0]), real(m[1])
+	m10, m11 := real(m[2]), real(m[3])
+	re, im := s.re, s.im
+	step := bit << 1
+	for base := lo &^ (step - 1); base < hi; base += step {
+		first, last := base, base+bit
+		if first < lo {
+			first = lo
+		}
+		if last > hi {
+			last = hi
+		}
+		for i := first; i < last; i++ {
+			j := i | bit
+			ar, ai := re[i], im[i]
+			br, bi := re[j], im[j]
+			re[i] = m00*ar + m01*br
+			im[i] = m00*ai + m01*bi
+			re[j] = m10*ar + m11*br
+			im[j] = m10*ai + m11*bi
+		}
+	}
+}
+
+// isRealMat reports whether every entry of m is real.
+func isRealMat(m circuit.Mat2) bool {
+	return imag(m[0]) == 0 && imag(m[1]) == 0 && imag(m[2]) == 0 && imag(m[3]) == 0
 }
 
 // Apply1Q applies a 2x2 unitary to qubit q.
 func (s *State) Apply1Q(m circuit.Mat2, q int) {
-	bit := 1 << uint(q)
-	s.forRange(func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if i&bit != 0 {
-				continue
-			}
-			j := i | bit
-			a0, a1 := s.amp[i], s.amp[j]
-			s.amp[i] = m[0]*a0 + m[1]*a1
-			s.amp[j] = m[2]*a0 + m[3]*a1
+	if isRealMat(m) {
+		if s.serialKernel() {
+			s.apply1QRealRange(m, q, 0, len(s.re))
+			return
 		}
-	})
+		s.shard(func(lo, hi int) { s.apply1QRealRange(m, q, lo, hi) })
+		return
+	}
+	if s.serialKernel() {
+		s.apply1QRange(m, q, 0, len(s.re))
+		return
+	}
+	s.shard(func(lo, hi int) { s.apply1QRange(m, q, lo, hi) })
+}
+
+func (s *State) applyCXRange(ctrl, tgt, lo, hi int) {
+	cb, tb := 1<<uint(ctrl), 1<<uint(tgt)
+	re, im := s.re, s.im
+	for i := lo; i < hi; i++ {
+		if i&cb != 0 && i&tb == 0 {
+			j := i | tb
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+	}
 }
 
 // ApplyCX applies a controlled-X with the given control and target.
 func (s *State) ApplyCX(ctrl, tgt int) {
-	cb, tb := 1<<uint(ctrl), 1<<uint(tgt)
-	s.forRange(func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if i&cb != 0 && i&tb == 0 {
-				j := i | tb
-				s.amp[i], s.amp[j] = s.amp[j], s.amp[i]
-			}
+	if s.serialKernel() {
+		s.applyCXRange(ctrl, tgt, 0, len(s.re))
+		return
+	}
+	s.shard(func(lo, hi int) { s.applyCXRange(ctrl, tgt, lo, hi) })
+}
+
+func (s *State) applyCZRange(a, b, lo, hi int) {
+	ab, bb := 1<<uint(a), 1<<uint(b)
+	re, im := s.re, s.im
+	for i := lo; i < hi; i++ {
+		if i&ab != 0 && i&bb != 0 {
+			re[i] = -re[i]
+			im[i] = -im[i]
 		}
-	})
+	}
 }
 
 // ApplyCZ applies a controlled-Z on the pair (a, b).
 func (s *State) ApplyCZ(a, b int) {
-	ab, bb := 1<<uint(a), 1<<uint(b)
-	s.forRange(func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if i&ab != 0 && i&bb != 0 {
-				s.amp[i] = -s.amp[i]
-			}
-		}
-	})
+	if s.serialKernel() {
+		s.applyCZRange(a, b, 0, len(s.re))
+		return
+	}
+	s.shard(func(lo, hi int) { s.applyCZRange(a, b, lo, hi) })
 }
 
-// ApplyCPhase applies a controlled phase rotation of theta.
-func (s *State) ApplyCPhase(a, b int, theta float64) {
-	ph := cmplx.Exp(complex(0, theta))
+func (s *State) applyCPhaseRange(a, b int, ph complex128, lo, hi int) {
 	ab, bb := 1<<uint(a), 1<<uint(b)
-	s.forRange(func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if i&ab != 0 && i&bb != 0 {
-				s.amp[i] *= ph
-			}
+	pr, pi := real(ph), imag(ph)
+	re, im := s.re, s.im
+	for i := lo; i < hi; i++ {
+		if i&ab != 0 && i&bb != 0 {
+			ar, ai := re[i], im[i]
+			re[i] = ar*pr - ai*pi
+			im[i] = ar*pi + ai*pr
 		}
-	})
+	}
+}
+
+// ApplyCPhase applies a controlled phase rotation of theta. A zero
+// theta is the identity, so the sweep is skipped entirely.
+func (s *State) ApplyCPhase(a, b int, theta float64) {
+	if theta == 0 {
+		return
+	}
+	ph := cmplx.Exp(complex(0, theta))
+	if s.serialKernel() {
+		s.applyCPhaseRange(a, b, ph, 0, len(s.re))
+		return
+	}
+	s.shard(func(lo, hi int) { s.applyCPhaseRange(a, b, ph, lo, hi) })
+}
+
+func (s *State) applySWAPRange(a, b, lo, hi int) {
+	ab, bb := 1<<uint(a), 1<<uint(b)
+	re, im := s.re, s.im
+	for i := lo; i < hi; i++ {
+		// Visit each (01) index once; its partner is (10).
+		if i&ab != 0 && i&bb == 0 {
+			j := (i &^ ab) | bb
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+	}
 }
 
 // ApplySWAP exchanges qubits a and b.
 func (s *State) ApplySWAP(a, b int) {
-	ab, bb := 1<<uint(a), 1<<uint(b)
-	s.forRange(func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			// Visit each (01) index once; its partner is (10).
-			if i&ab != 0 && i&bb == 0 {
-				j := (i &^ ab) | bb
-				s.amp[i], s.amp[j] = s.amp[j], s.amp[i]
-			}
+	if s.serialKernel() {
+		s.applySWAPRange(a, b, 0, len(s.re))
+		return
+	}
+	s.shard(func(lo, hi int) { s.applySWAPRange(a, b, lo, hi) })
+}
+
+func (s *State) applyCCXRange(c1, c2, tgt, lo, hi int) {
+	b1, b2, tb := 1<<uint(c1), 1<<uint(c2), 1<<uint(tgt)
+	re, im := s.re, s.im
+	for i := lo; i < hi; i++ {
+		if i&b1 != 0 && i&b2 != 0 && i&tb == 0 {
+			j := i | tb
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
 		}
-	})
+	}
 }
 
 // ApplyCCX applies a Toffoli gate.
 func (s *State) ApplyCCX(c1, c2, tgt int) {
-	b1, b2, tb := 1<<uint(c1), 1<<uint(c2), 1<<uint(tgt)
-	s.forRange(func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if i&b1 != 0 && i&b2 != 0 && i&tb == 0 {
-				j := i | tb
-				s.amp[i], s.amp[j] = s.amp[j], s.amp[i]
-			}
+	if s.serialKernel() {
+		s.applyCCXRange(c1, c2, tgt, 0, len(s.re))
+		return
+	}
+	s.shard(func(lo, hi int) { s.applyCCXRange(c1, c2, tgt, lo, hi) })
+}
+
+// probOneChunk is the ProbOne reducer; arg is the qubit's bit mask.
+func (s *State) probOneChunk(bit, lo, hi int) float64 {
+	p := 0.0
+	re, im := s.re, s.im
+	for i := lo; i < hi; i++ {
+		if i&bit != 0 {
+			p += re[i]*re[i] + im[i]*im[i]
 		}
-	})
+	}
+	return p
 }
 
 // ProbOne returns the probability of measuring qubit q as 1.
 func (s *State) ProbOne(q int) float64 {
-	bit := 1 << uint(q)
-	return s.reduce(func(lo, hi int) float64 {
-		p := 0.0
-		for i := lo; i < hi; i++ {
-			if i&bit != 0 {
-				a := s.amp[i]
-				p += real(a)*real(a) + imag(a)*imag(a)
-			}
-		}
-		return p
-	})
+	return s.reduce((*State).probOneChunk, 1<<uint(q))
 }
 
 // MeasureQubit samples qubit q, collapses the state, renormalizes, and
@@ -235,6 +427,18 @@ func (s *State) MeasureQubit(q int, r *rand.Rand) int {
 	return outcome
 }
 
+func (s *State) collapseRange(bit, outcome int, scale float64, lo, hi int) {
+	re, im := s.re, s.im
+	for i := lo; i < hi; i++ {
+		if (i&bit != 0) != (outcome == 1) {
+			re[i], im[i] = 0, 0
+		} else {
+			re[i] *= scale
+			im[i] *= scale
+		}
+	}
+}
+
 func (s *State) collapse(q, outcome int, p1 float64) {
 	bit := 1 << uint(q)
 	p := p1
@@ -244,23 +448,18 @@ func (s *State) collapse(q, outcome int, p1 float64) {
 	if p <= 0 {
 		p = 1e-300 // numerically impossible branch; avoid div by zero
 	}
-	scale := complex(1/math.Sqrt(p), 0)
-	s.forRange(func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if (i&bit != 0) != (outcome == 1) {
-				s.amp[i] = 0
-			} else {
-				s.amp[i] *= scale
-			}
-		}
-	})
+	scale := 1 / math.Sqrt(p)
+	if s.serialKernel() {
+		s.collapseRange(bit, outcome, scale, 0, len(s.re))
+		return
+	}
+	s.shard(func(lo, hi int) { s.collapseRange(bit, outcome, scale, lo, hi) })
 }
 
 // ResetQubit measures q and flips it to |0> if needed.
 func (s *State) ResetQubit(q int, r *rand.Rand) {
 	if s.MeasureQubit(q, r) == 1 {
-		x, _ := circuit.GateMat2(circuit.Gate{Op: circuit.OpX, Qubits: []int{q}})
-		s.Apply1Q(x, q)
+		s.Apply1Q(pauliXMat, q)
 	}
 }
 
@@ -292,11 +491,11 @@ func (s *State) ApplyGate(g circuit.Gate) error {
 
 // Probabilities returns the |amp|² distribution over basis states.
 func (s *State) Probabilities() []float64 {
-	ps := make([]float64, len(s.amp))
+	ps := make([]float64, len(s.re))
 	s.forRange(func(lo, hi int) {
+		re, im := s.re, s.im
 		for i := lo; i < hi; i++ {
-			a := s.amp[i]
-			ps[i] = real(a)*real(a) + imag(a)*imag(a)
+			ps[i] = re[i]*re[i] + im[i]*im[i]
 		}
 	})
 	return ps

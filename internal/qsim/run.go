@@ -15,17 +15,36 @@ import (
 // (par.Workers(), i.e. runtime.NumCPU() unless a -workers flag
 // overrode it) and 1 forces fully serial execution.
 //
-// Determinism contract: for a fixed caller seed, Run produces
-// bit-identical Counts for every worker count. Kernels write the same
+// Determinism contract: for a fixed caller seed (and fixed
+// KernelMinAmps), Run produces bit-identical Counts for every worker
+// count and whether or not fusion is enabled. Kernels write the same
 // amplitudes regardless of sharding, reductions use size-dependent (not
-// worker-dependent) chunk boundaries, and each noisy shot derives its
-// own RNG stream from the caller's generator rather than sharing it.
+// worker-dependent) chunk boundaries, each noisy shot derives its own
+// RNG stream from the caller's generator rather than sharing it, and
+// the fusion prepass never changes a shot's RNG draw sequence (see
+// fuse.go).
 type Parallelism struct {
 	Workers int
+	// KernelMinAmps overrides the state size at which gate kernels go
+	// parallel and reductions go chunked (0 = the package default,
+	// 1<<14). Exposed so benchmarks can probe the serial/parallel
+	// crossover instead of hardcoding it. Runs with different values
+	// are individually deterministic, but — like the seed — the value is
+	// part of the fixed configuration the determinism contract assumes,
+	// because chunk boundaries move with it.
+	KernelMinAmps int
+	// DisableFusion skips the fusion prepass and executes one kernel
+	// per source gate (the pre-fusion engine). Purely a benchmarking
+	// and verification knob: Counts are identical either way.
+	DisableFusion bool
 }
 
 // workers resolves the effective worker count.
 func (p Parallelism) workers() int { return par.Resolve(p.Workers) }
+
+// maxDenseClbits bounds the dense per-worker outcome histogram (2^n
+// ints); wider classical registers fall back to map counting.
+const maxDenseClbits = 16
 
 // Counts maps classical bitstrings (clbit NClbits-1 leftmost, Qiskit
 // style) to observed frequencies.
@@ -85,6 +104,20 @@ func bitstring(clbits []int) string {
 	return b.String()
 }
 
+// indexBitstring renders a dense-histogram index (clbit i at bit i) in
+// the same highest-clbit-leftmost form as bitstring.
+func indexBitstring(idx, nclbits int) string {
+	b := make([]byte, nclbits)
+	for i := 0; i < nclbits; i++ {
+		if idx>>uint(i)&1 == 1 {
+			b[nclbits-1-i] = '1'
+		} else {
+			b[nclbits-1-i] = '0'
+		}
+	}
+	return string(b)
+}
+
 // Run executes circuit c for the given number of shots and returns the
 // measurement counts, using the process-default parallelism. With a
 // nil noise model and no mid-circuit measurement/reset, a single
@@ -94,8 +127,10 @@ func Run(c *circuit.Circuit, shots int, noise *NoiseModel, r *rand.Rand) (Counts
 	return RunOpts(c, shots, noise, r, Parallelism{})
 }
 
-// RunOpts is Run with an explicit Parallelism. Counts are bit-identical
-// across worker counts for the same caller seed.
+// RunOpts is Run with an explicit Parallelism. The circuit is compiled
+// once into a fused op stream (unless p.DisableFusion) and executed
+// shot by shot on pooled per-worker state buffers. Counts are
+// bit-identical across worker counts for the same caller seed.
 func RunOpts(c *circuit.Circuit, shots int, noise *NoiseModel, r *rand.Rand, p Parallelism) (Counts, error) {
 	if shots <= 0 {
 		return nil, fmt.Errorf("qsim: shots must be positive, got %d", shots)
@@ -140,24 +175,29 @@ func isTerminalMeasureOnly(c *circuit.Circuit) bool {
 	return true
 }
 
-// runExact evolves the state once (with parallel gate kernels) and
-// samples the terminal measurement distribution multinomially from the
-// caller's generator, exactly as the serial engine did.
+// runExact evolves the state once through the fused op stream (with
+// parallel gate kernels) and samples the terminal measurement
+// distribution multinomially from the caller's generator, exactly as
+// the serial engine did.
 func runExact(c *circuit.Circuit, shots int, r *rand.Rand, p Parallelism) (Counts, error) {
+	prog, err := compileProgram(c, nil, !p.DisableFusion && c.NQubits >= exactFuseMinQubits)
+	if err != nil {
+		return nil, err
+	}
 	st, err := NewState(c.NQubits)
 	if err != nil {
 		return nil, err
 	}
-	st.SetWorkers(p.Workers)
-	var measures []circuit.Gate
-	for _, g := range c.Gates {
-		if g.Op == circuit.OpMeasure {
-			measures = append(measures, g)
+	st.SetWorkers(p.Workers).SetKernelMinAmps(p.KernelMinAmps)
+	type meas struct{ q, clbit int }
+	var measures []meas
+	for oi := range prog.ops {
+		op := &prog.ops[oi]
+		if op.kind == opMeasure {
+			measures = append(measures, meas{op.q0, op.clbit})
 			continue
 		}
-		if err := st.ApplyGate(g); err != nil {
-			return nil, err
-		}
+		op.applyFast(st)
 	}
 	probs := st.Probabilities()
 	// Cumulative distribution for sampling.
@@ -185,8 +225,7 @@ func runExact(c *circuit.Circuit, shots int, r *rand.Rand, p Parallelism) (Count
 			clbits[i] = 0
 		}
 		for _, m := range measures {
-			bit := (lo >> uint(m.Qubits[0])) & 1
-			clbits[m.Clbit] = bit
+			clbits[m.clbit] = (lo >> uint(m.q)) & 1
 		}
 		counts[bitstring(clbits)]++
 	}
@@ -207,7 +246,16 @@ func shotSeed(base int64, s int) int64 {
 // a worker pool. The caller's generator contributes one Int63 draw as
 // the base seed; each shot then uses its own derived stream, so the
 // merged Counts are identical for any worker count.
+//
+// Steady-state shot execution is allocation-free: each worker owns one
+// State (Reset in place between shots), one reseeded RNG, one clbit
+// scratch buffer, and — for registers up to maxDenseClbits — a dense
+// outcome histogram that is converted to Counts once at the end.
 func runTrajectories(c *circuit.Circuit, shots int, noise *NoiseModel, r *rand.Rand, p Parallelism) (Counts, error) {
+	prog, err := compileProgram(c, noise, !p.DisableFusion)
+	if err != nil {
+		return nil, err
+	}
 	base := r.Int63()
 	workers := p.workers()
 	if workers > shots {
@@ -237,42 +285,46 @@ func runTrajectories(c *circuit.Circuit, shots int, noise *NoiseModel, r *rand.R
 			hi = shots
 		}
 		local := make(Counts)
+		shards[w].counts = local
+		if lo >= hi {
+			return
+		}
+		st, err := NewState(c.NQubits)
+		if err != nil {
+			shards[w].err = err
+			return
+		}
+		st.SetWorkers(kernelWorkers).SetKernelMinAmps(p.KernelMinAmps)
+		sr := rand.New(rand.NewSource(0))
 		clbits := make([]int, c.NClbits)
+		var dense []int
+		if c.NClbits <= maxDenseClbits {
+			dense = make([]int, 1<<uint(c.NClbits))
+		}
 		for s := lo; s < hi; s++ {
-			sr := rand.New(rand.NewSource(shotSeed(base, s)))
-			st, err := NewState(c.NQubits)
-			if err != nil {
-				shards[w].err = err
-				return
-			}
-			st.SetWorkers(kernelWorkers)
+			// Reseeding replays the exact stream rand.NewSource(seed)
+			// would produce, without the per-shot source allocation.
+			sr.Seed(shotSeed(base, s))
+			st.Reset()
 			for i := range clbits {
 				clbits[i] = 0
 			}
-			for _, g := range c.Gates {
-				switch g.Op {
-				case circuit.OpMeasure:
-					bit := st.MeasureQubit(g.Qubits[0], sr)
-					if noise != nil && sr.Float64() < noise.ReadoutError(g.Qubits[0]) {
-						bit ^= 1
-					}
-					clbits[g.Clbit] = bit
-				case circuit.OpReset:
-					st.ResetQubit(g.Qubits[0], sr)
-				case circuit.OpBarrier:
-				default:
-					if err := st.ApplyGate(g); err != nil {
-						shards[w].err = err
-						return
-					}
-					if noise != nil {
-						noise.applyAfterGate(st, g, sr)
-					}
+			prog.exec(st, clbits, sr)
+			if dense != nil {
+				idx := 0
+				for i, b := range clbits {
+					idx |= b << uint(i)
 				}
+				dense[idx]++
+			} else {
+				local[bitstring(clbits)]++
 			}
-			local[bitstring(clbits)]++
 		}
-		shards[w].counts = local
+		for idx, n := range dense {
+			if n > 0 {
+				local[indexBitstring(idx, c.NClbits)] = n
+			}
+		}
 	})
 	counts := make(Counts)
 	for _, sh := range shards {
