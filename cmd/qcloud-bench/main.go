@@ -26,7 +26,9 @@ import (
 
 	"qcloud/internal/analysis"
 	"qcloud/internal/backend"
+	"qcloud/internal/circuit"
 	"qcloud/internal/circuit/gens"
+	"qcloud/internal/compile"
 	"qcloud/internal/par"
 	"qcloud/internal/qsim"
 )
@@ -49,6 +51,16 @@ type Speedup struct {
 	Speedup float64 `json:"speedup"`
 }
 
+// KernelSweepRow records one circuit's compiled op-stream length per
+// fusion setting: how many amplitude sweeps a shot costs unfused, with
+// PR 2's 1q-chain + diagonal-run fusion, and with 2q block fusion.
+type KernelSweepRow struct {
+	Circuit string `json:"circuit"`
+	Unfused int    `json:"unfused_ops"`
+	Fused1Q int    `json:"fused_1q_ops"`
+	Blocked int    `json:"blocked_2q_ops"`
+}
+
 // Report is the emitted BENCH_*.json document.
 type Report struct {
 	Label     string    `json:"label,omitempty"`
@@ -58,6 +70,9 @@ type Report struct {
 	Iters     int       `json:"iterations_per_benchmark"`
 	Results   []Result  `json:"results"`
 	Speedups  []Speedup `json:"speedups"`
+	// KernelSweeps records per-circuit kernel-sweep counts under each
+	// fusion setting (the lever 2q block fusion pulls).
+	KernelSweeps []KernelSweepRow `json:"kernel_sweeps,omitempty"`
 	// Baseline embeds a previous report (typically the pre-change
 	// numbers) so one committed file records both sides of a change.
 	Baseline *Report `json:"baseline,omitempty"`
@@ -73,8 +88,14 @@ func (r *Report) find(name string) *Result {
 }
 
 // measure times iters runs of f with the GC quiesced, recording
-// wall-clock and allocation deltas per op.
+// wall-clock and allocation deltas per op. One untimed warm-up run
+// precedes the clock so first-at-size page faults and heap growth do
+// not land on whichever variant happens to run first (at 22q the cold
+// first evolution is ~35% slower than every later one).
 func measure(name string, iters int, f func() error) (Result, error) {
+	if err := f(); err != nil {
+		return Result{}, fmt.Errorf("%s: %w", name, err)
+	}
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
@@ -95,15 +116,43 @@ func measure(name string, iters int, f func() error) (Result, error) {
 	}, nil
 }
 
-// simModes mirrors the bench_test.go variants: serial, a 4-worker
-// pool, and the pre-fusion engine.
+// simModes mirrors the bench_test.go variants: serial (full 2q-blocked
+// fusion), a 4-worker pool, the PR 2 engine (1q/diagonal fusion only),
+// and the pre-fusion engine — the Fusion2Q A/B trio plus parallelism.
 var simModes = []struct {
 	name string
 	par  qsim.Parallelism
 }{
 	{"serial", qsim.Parallelism{Workers: 1}},
 	{"parallel-4", qsim.Parallelism{Workers: 4}},
+	{"serial-no2q", qsim.Parallelism{Workers: 1, DisableFusion2Q: true}},
 	{"serial-unfused", qsim.Parallelism{Workers: 1, DisableFusion: true}},
+}
+
+// fig7Jobs compiles the Fig 7 fidelity workload (the n-qubit QFT POS
+// benchmark on the paper's five machines) into simulator-ready batch
+// jobs, replicated reps times with distinct seeds so the sweep has the
+// many-small-jobs shape the batched dispatcher targets.
+func fig7Jobs(machines []*backend.Machine, n, shots, reps int, at time.Time, seed int64) ([]qsim.BatchJob, error) {
+	var jobs []qsim.BatchJob
+	for _, m := range machines {
+		cal := m.CalibrationAt(at)
+		res, err := compile.Compile(gens.QFTBench(n), m, cal, compile.Options{Seed: seed})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", m.Name, err)
+		}
+		compacted, origOf := qsim.Compact(res.Circ)
+		noise := qsim.NoiseFromCalibration(cal, 0).Remap(origOf)
+		for rep := 0; rep < reps; rep++ {
+			jobs = append(jobs, qsim.BatchJob{
+				Circ:  compacted,
+				Shots: shots,
+				Noise: noise,
+				Seed:  seed + m.Seed + int64(rep)*7919,
+			})
+		}
+	}
+	return jobs, nil
 }
 
 func run(iters, maxWidth, shots int) (*Report, error) {
@@ -184,6 +233,85 @@ func run(iters, maxWidth, shots int) (*Report, error) {
 		}
 	}
 
+	// BatchedSweep: the Fig 7 trajectory sweep's simulation workload
+	// (the five compiled machines, `shots` shots each) under three
+	// dispatchers at equal worker count: the PR 2 baseline (a serial
+	// pool per job inside a parallel sweep, no 2q fusion), the same
+	// per-job dispatch with 2q blocking, and one shared BatchRun pool
+	// with 2q blocking. Five jobs on four workers is where per-job
+	// pools leave a straggler tail — the shape pool batching fixes.
+	// sweepReps replicates each machine's job; the kernel-sweep rows
+	// below index sweepJobs[i*sweepReps] for machine i, so keep the two
+	// in sync when scaling the sweep up.
+	const sweepReps = 1
+	sweepJobs, err := fig7Jobs(machines, 4, shots, sweepReps, at, 12)
+	if err != nil {
+		return nil, err
+	}
+	perJob := func(p qsim.Parallelism) func() error {
+		return func() error {
+			errs := make([]error, len(sweepJobs))
+			par.ForEach(len(sweepJobs), 0, func(i int) {
+				r := rand.New(rand.NewSource(sweepJobs[i].Seed))
+				_, err := qsim.RunOpts(sweepJobs[i].Circ, sweepJobs[i].Shots, sweepJobs[i].Noise, r, p)
+				errs[i] = err
+			})
+			return par.FirstError(errs)
+		}
+	}
+	batched := func(p qsim.Parallelism) func() error {
+		return func() error {
+			for _, res := range qsim.BatchRun(sweepJobs, p) {
+				if res.Err != nil {
+					return res.Err
+				}
+			}
+			return nil
+		}
+	}
+	for _, mode := range []struct {
+		name string
+		f    func() error
+	}{
+		{"BatchedSweep/per-job-no2q", perJob(qsim.Parallelism{Workers: 1, DisableFusion2Q: true})},
+		{"BatchedSweep/per-job", perJob(qsim.Parallelism{Workers: 1})},
+		{"BatchedSweep/batched", batched(qsim.Parallelism{Workers: 4})},
+	} {
+		par.SetWorkers(4)
+		err := add(measure(mode.name, iters, mode.f))
+		par.SetWorkers(0)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Kernel-sweep counts per compiled circuit: the op-stream length a
+	// shot executes under each fusion setting.
+	sweepCircs := []struct {
+		name string
+		circ *circuit.Circuit
+	}{
+		{"qftbench10", gens.QFTBench(10)},
+		{"qaoa-ring8-p2", gens.QAOAMaxCut(8, gens.RingEdges(8), 2)},
+	}
+	for i, m := range machines {
+		sweepCircs = append(sweepCircs, struct {
+			name string
+			circ *circuit.Circuit
+		}{"fig7-" + m.Name, sweepJobs[i*sweepReps].Circ})
+	}
+	for _, sc := range sweepCircs {
+		unfused, fused1q, blocked, err := qsim.KernelCounts(sc.circ, nil)
+		if err != nil {
+			return nil, err
+		}
+		rep.KernelSweeps = append(rep.KernelSweeps, KernelSweepRow{
+			Circuit: sc.name, Unfused: unfused, Fused1Q: fused1q, Blocked: blocked,
+		})
+		log.Printf("kernel sweeps %-24s unfused %4d  fused-1q %4d  blocked-2q %4d",
+			sc.name, unfused, fused1q, blocked)
+	}
+
 	// Kernel crossover probe: the same 16q exact evolution with the
 	// parallel threshold forced low, default, and high — the knob
 	// Parallelism.KernelMinAmps exposes.
@@ -207,7 +335,13 @@ func run(iters, maxWidth, shots int) (*Report, error) {
 	pairs := []struct{ figure, base, opt, against string }{
 		{"TrajectoryShots", "TrajectoryShots/serial", "TrajectoryShots/parallel-4", "serial"},
 		{"TrajectoryShots", "TrajectoryShots/serial-unfused", "TrajectoryShots/serial", "unfused"},
+		{"TrajectoryShots", "TrajectoryShots/serial-no2q", "TrajectoryShots/serial", "no2q"},
 		{"Fig07Fidelity", "Fig07Fidelity/serial", "Fig07Fidelity/parallel-4", "serial"},
+		// The acceptance number for PR 3: the Fig 7 trajectory sweep,
+		// batched + 2q-blocked, against the PR 2 dispatch at equal
+		// worker count.
+		{"BatchedSweep", "BatchedSweep/per-job-no2q", "BatchedSweep/batched", "pr2-per-job-no2q"},
+		{"BatchedSweep", "BatchedSweep/per-job", "BatchedSweep/batched", "per-job-pools"},
 	}
 	for _, n := range []int{16, 20, 22} {
 		if n > maxWidth {
@@ -217,6 +351,7 @@ func run(iters, maxWidth, shots int) (*Report, error) {
 		pairs = append(pairs,
 			struct{ figure, base, opt, against string }{fig, fig + "/serial", fig + "/parallel-4", "serial"},
 			struct{ figure, base, opt, against string }{fig, fig + "/serial-unfused", fig + "/serial", "unfused"},
+			struct{ figure, base, opt, against string }{fig, fig + "/serial-no2q", fig + "/serial", "no2q"},
 		)
 	}
 	for _, p := range pairs {

@@ -2,7 +2,6 @@ package analysis
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 	"strings"
 	"time"
@@ -129,22 +128,19 @@ type FidelityRow struct {
 
 // FidelityVsCXMetrics compiles the n-qubit QFT POS benchmark onto each
 // machine under its calibration at time at, runs the noisy trajectory
-// simulation, and reports POS alongside the CX metrics (Fig 7; the
+// simulations, and reports POS alongside the CX metrics (Fig 7; the
 // paper uses casablanca, toronto, guadalupe, rome and manhattan).
-// Machines are swept on a worker pool; each machine's RNG stream is
-// seeded by (seed, machine), so rows are deterministic and identical
-// to a serial sweep.
+// Compiles fan out on a worker pool, then every machine's shots are
+// submitted to one shared trajectory pool (qsim.BatchRun) instead of
+// nesting a serial pool per machine. Each machine's RNG stream is
+// seeded by (seed, machine), so rows are deterministic: identical to a
+// serial sweep and to the old per-machine pools.
 func FidelityVsCXMetrics(machines []*backend.Machine, n, shots int, at time.Time, seed int64) ([]FidelityRow, error) {
 	rows := make([]FidelityRow, len(machines))
 	errs := make([]error, len(machines))
-	// When the machine sweep is itself parallel, keep each machine's
-	// shot pool serial so -workers stays a real concurrency bound
-	// instead of multiplying across nesting levels. Counts are
-	// bit-identical either way.
-	inner := qsim.Parallelism{}
-	if par.Workers() > 1 && len(machines) > 1 {
-		inner.Workers = 1
-	}
+	comps := make([]*compile.Result, len(machines))
+	cals := make([]*backend.Calibration, len(machines))
+	jobs := make([]qsim.BatchJob, len(machines))
 	par.ForEach(len(machines), 0, func(i int) {
 		m := machines[i]
 		cal := m.CalibrationAt(at)
@@ -153,15 +149,25 @@ func FidelityVsCXMetrics(machines []*backend.Machine, n, shots int, at time.Time
 			errs[i] = fmt.Errorf("%s: %w", m.Name, err)
 			return
 		}
+		comps[i], cals[i] = res, cal
 		compacted, origOf := qsim.Compact(res.Circ)
-		noise := qsim.NoiseFromCalibration(cal, 0).Remap(origOf)
-		r := rand.New(rand.NewSource(seed + m.Seed))
-		counts, err := qsim.RunOpts(compacted, shots, noise, r, inner)
-		if err != nil {
-			errs[i] = fmt.Errorf("%s: %w", m.Name, err)
-			return
+		jobs[i] = qsim.BatchJob{
+			Circ:  compacted,
+			Shots: shots,
+			Noise: qsim.NoiseFromCalibration(cal, 0).Remap(origOf),
+			Seed:  seed + m.Seed,
 		}
-		pos := counts.Prob(strings.Repeat("0", n))
+	})
+	if err := par.FirstError(errs); err != nil {
+		return nil, err
+	}
+	batch := qsim.BatchRun(jobs, qsim.Parallelism{})
+	for i, m := range machines {
+		if batch[i].Err != nil {
+			return nil, fmt.Errorf("%s: %w", m.Name, batch[i].Err)
+		}
+		res, cal := comps[i], cals[i]
+		pos := batch[i].Counts.Prob(strings.Repeat("0", n))
 		// Mean CX error over the couplers the compiled circuit uses.
 		errSum, errN := 0.0, 0
 		for _, g := range res.Circ.Gates {
@@ -182,9 +188,6 @@ func FidelityVsCXMetrics(machines []*backend.Machine, n, shots int, at time.Time
 			CXDepthErr: float64(res.Metrics.CXDepth) * meanErr * 100,
 			CXTotalErr: float64(res.Metrics.CXCount) * meanErr * 100,
 		}
-	})
-	if err := par.FirstError(errs); err != nil {
-		return nil, err
 	}
 	return rows, nil
 }
@@ -258,18 +261,13 @@ func StaleCompilationPenalty(m *backend.Machine, n, staleDays, days, shots int, 
 	}
 	bench := gens.QFTBench(n)
 	expected := strings.Repeat("0", n)
-	// Days are independent (each has its own seeded RNG streams), so
-	// fan them out and sum the per-day results in day order to keep the
-	// means bit-identical to a serial sweep.
-	freshPOS := make([]float64, days)
-	stalePOS := make([]float64, days)
+	// Days are independent (each has its own seeded RNG streams): the
+	// fresh/stale compiles fan out per day, then all 2*days small-shot
+	// simulations go to one shared trajectory pool. Per-day results are
+	// summed in day order to keep the means bit-identical to a serial
+	// sweep (and to the old nested per-day pools).
 	errs := make([]error, days)
-	// As in FidelityVsCXMetrics: a parallel day sweep keeps each day's
-	// shot pools serial so -workers bounds total concurrency.
-	inner := qsim.Parallelism{}
-	if par.Workers() > 1 && days > 1 {
-		inner.Workers = 1
-	}
+	jobs := make([]qsim.BatchJob, 2*days)
 	par.ForEach(days, 0, func(d int) {
 		execAt := t0.Add(time.Duration(d) * 24 * time.Hour)
 		calNow := m.CalibrationAt(execAt)
@@ -290,30 +288,31 @@ func StaleCompilationPenalty(m *backend.Machine, n, staleDays, days, shots int, 
 		// suffers drift relative to its pulse-era calibration.
 		fc, fm := qsim.Compact(fresh.Circ)
 		sc, sm := qsim.Compact(stale.Circ)
-		freshNoise := qsim.NoiseFromCalibration(calNow, 0).Remap(fm)
-		staleNoise := qsim.NoiseFromCalibration(calNow, staleHours).Remap(sm)
-		r1 := rand.New(rand.NewSource(seed + int64(d)*17))
-		r2 := rand.New(rand.NewSource(seed + int64(d)*17 + 1))
-		fCounts, err := qsim.RunOpts(fc, shots, freshNoise, r1, inner)
-		if err != nil {
-			errs[d] = err
-			return
+		jobs[2*d] = qsim.BatchJob{
+			Circ: fc, Shots: shots,
+			Noise: qsim.NoiseFromCalibration(calNow, 0).Remap(fm),
+			Seed:  seed + int64(d)*17,
 		}
-		sCounts, err := qsim.RunOpts(sc, shots, staleNoise, r2, inner)
-		if err != nil {
-			errs[d] = err
-			return
+		jobs[2*d+1] = qsim.BatchJob{
+			Circ: sc, Shots: shots,
+			Noise: qsim.NoiseFromCalibration(calNow, staleHours).Remap(sm),
+			Seed:  seed + int64(d)*17 + 1,
 		}
-		freshPOS[d] = fCounts.Prob(expected)
-		stalePOS[d] = sCounts.Prob(expected)
 	})
 	if err := par.FirstError(errs); err != nil {
 		return nil, err
 	}
+	batch := qsim.BatchRun(jobs, qsim.Parallelism{})
 	var freshSum, staleSum float64
 	for d := 0; d < days; d++ {
-		freshSum += freshPOS[d]
-		staleSum += stalePOS[d]
+		if err := batch[2*d].Err; err != nil {
+			return nil, err
+		}
+		if err := batch[2*d+1].Err; err != nil {
+			return nil, err
+		}
+		freshSum += batch[2*d].Counts.Prob(expected)
+		staleSum += batch[2*d+1].Counts.Prob(expected)
 	}
 	return &StalenessResult{
 		FreshPOS: freshSum / float64(days),

@@ -1,0 +1,179 @@
+package circuit
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func mat4Close(t *testing.T, got, want Mat4, label string) {
+	t.Helper()
+	for k := range got {
+		if cmplx.Abs(got[k]-want[k]) > 1e-12 {
+			t.Fatalf("%s: entry %d = %v, want %v", label, k, got[k], want[k])
+		}
+	}
+}
+
+func TestMat4MulIdentity(t *testing.T) {
+	g := NewGate(OpCX, []int{0, 1})
+	cx, ok := GateMat4(g, 0, 1)
+	if !ok {
+		t.Fatal("CX should embed on its own pair")
+	}
+	mat4Close(t, cx.Mul(Identity4), cx, "cx·I")
+	mat4Close(t, Identity4.Mul(cx), cx, "I·cx")
+	// CX is an involution.
+	mat4Close(t, cx.Mul(cx), Identity4, "cx·cx")
+	if !cx.Mul(cx).IsIdentity() {
+		t.Fatal("cx·cx should report identity")
+	}
+	if cx.IsIdentity() {
+		t.Fatal("cx is not the identity")
+	}
+}
+
+func TestMat4IsIdentityGlobalPhase(t *testing.T) {
+	ph := cmplx.Exp(complex(0, 0.7))
+	var m Mat4
+	for d := 0; d < 4; d++ {
+		m[d*4+d] = ph
+	}
+	if !m.IsIdentity() {
+		t.Fatal("global-phase multiple of I should report identity")
+	}
+	m[15] = -ph
+	if m.IsIdentity() {
+		t.Fatal("cz-like matrix is not the identity")
+	}
+}
+
+// TestKron1QCommutes pins the embedding layout: 1q operators on the two
+// different pair roles commute, and their product equals the joint
+// Kronecker action on the |b1 b0> basis.
+func TestKron1QCommutes(t *testing.T) {
+	h, _ := GateMat2(NewGate(OpH, []int{0}))
+	s, _ := GateMat2(NewGate(OpS, []int{0}))
+	lo := Kron1Q(h, false)
+	hi := Kron1Q(s, true)
+	mat4Close(t, lo.Mul(hi), hi.Mul(lo), "lo/hi commute")
+	// Explicit joint Kronecker product: (s ⊗ h)[2r1+r0][2c1+c0].
+	var want Mat4
+	for r1 := 0; r1 < 2; r1++ {
+		for r0 := 0; r0 < 2; r0++ {
+			for c1 := 0; c1 < 2; c1++ {
+				for c0 := 0; c0 < 2; c0++ {
+					want[(2*r1+r0)*4+2*c1+c0] = s[r1*2+c1] * h[r0*2+c0]
+				}
+			}
+		}
+	}
+	mat4Close(t, hi.Mul(lo), want, "kron product")
+}
+
+func TestGateMat4Embeddings(t *testing.T) {
+	// CX with control on the low role: |b1 b0> -> flips b1 when b0 = 1,
+	// i.e. swaps basis states 1 (01) and 3 (11).
+	cxLo, ok := GateMat4(NewGate(OpCX, []int{4, 7}), 4, 7)
+	if !ok {
+		t.Fatal("cx(4,7) should embed on pair (4,7)")
+	}
+	mat4Close(t, cxLo, Mat4{
+		1, 0, 0, 0,
+		0, 0, 0, 1,
+		0, 0, 1, 0,
+		0, 1, 0, 0,
+	}, "cx control-lo")
+	// Same gate seen with swapped roles: control on the high role.
+	cxHi, ok := GateMat4(NewGate(OpCX, []int{4, 7}), 7, 4)
+	if !ok {
+		t.Fatal("cx(4,7) should embed on pair (7,4)")
+	}
+	mat4Close(t, cxHi, Mat4{
+		1, 0, 0, 0,
+		0, 1, 0, 0,
+		0, 0, 0, 1,
+		0, 0, 1, 0,
+	}, "cx control-hi")
+
+	swap, ok := GateMat4(NewGate(OpSWAP, []int{1, 2}), 2, 1)
+	if !ok {
+		t.Fatal("swap embeds in either role order")
+	}
+	mat4Close(t, swap, Mat4{
+		1, 0, 0, 0,
+		0, 0, 1, 0,
+		0, 1, 0, 0,
+		0, 0, 0, 1,
+	}, "swap")
+
+	cp, ok := GateMat4(NewGate(OpCPhase, []int{0, 1}, math.Pi), 0, 1)
+	if !ok {
+		t.Fatal("cp embeds on its pair")
+	}
+	cz, ok := GateMat4(NewGate(OpCZ, []int{1, 0}), 0, 1)
+	if !ok {
+		t.Fatal("cz embeds on its pair in either order")
+	}
+	mat4Close(t, cp, cz, "cp(pi) == cz")
+
+	// 1q gates embed on whichever role their qubit holds.
+	h, _ := GateMat2(NewGate(OpH, []int{3}))
+	hLo, ok := GateMat4(NewGate(OpH, []int{3}), 3, 9)
+	if !ok {
+		t.Fatal("h(3) should embed on pair (3,9)")
+	}
+	mat4Close(t, hLo, Kron1Q(h, false), "h on low role")
+	hHi, ok := GateMat4(NewGate(OpH, []int{3}), 9, 3)
+	if !ok {
+		t.Fatal("h(3) should embed on pair (9,3)")
+	}
+	mat4Close(t, hHi, Kron1Q(h, true), "h on high role")
+}
+
+func TestGateMat4Rejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		g      Gate
+		q0, q1 int
+	}{
+		{"1q off pair", NewGate(OpH, []int{5}), 0, 1},
+		{"cx off pair", NewGate(OpCX, []int{0, 2}), 0, 1},
+		{"cx half pair", NewGate(OpCX, []int{0, 2}), 2, 1},
+		{"ccx", NewGate(OpCCX, []int{0, 1, 2}), 0, 1},
+		{"measure", Gate{Op: OpMeasure, Qubits: []int{0}, Clbit: 0}, 0, 1},
+		{"barrier", NewGate(OpBarrier, []int{0, 1}), 0, 1},
+	}
+	for _, tc := range cases {
+		if _, ok := GateMat4(tc.g, tc.q0, tc.q1); ok {
+			t.Fatalf("%s: GateMat4 should reject", tc.name)
+		}
+	}
+}
+
+// TestGateMat4Unitary checks U·U† = I for every embeddable gate shape.
+func TestGateMat4Unitary(t *testing.T) {
+	gates := []Gate{
+		NewGate(OpCX, []int{0, 1}),
+		NewGate(OpCX, []int{1, 0}),
+		NewGate(OpCZ, []int{0, 1}),
+		NewGate(OpCPhase, []int{0, 1}, 0.9),
+		NewGate(OpSWAP, []int{0, 1}),
+		NewGate(OpSX, []int{0}),
+		NewGate(OpRZ, []int{1}, 1.3),
+		NewGate(OpU, []int{0}, 0.4, 1.1, -0.6),
+	}
+	for _, g := range gates {
+		m, ok := GateMat4(g, 0, 1)
+		if !ok {
+			t.Fatalf("%v should embed", g)
+		}
+		var dag Mat4
+		for r := 0; r < 4; r++ {
+			for c := 0; c < 4; c++ {
+				dag[r*4+c] = cmplx.Conj(m[c*4+r])
+			}
+		}
+		mat4Close(t, m.Mul(dag), Identity4, g.String()+" unitarity")
+	}
+}

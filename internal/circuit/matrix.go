@@ -29,6 +29,140 @@ func (a Mat2) IsIdentity() bool {
 	return cmplx.Abs(a[0]-a[3]) < 1e-9
 }
 
+// Mat4 is a dense 4x4 complex matrix in row-major order over the
+// two-qubit basis |b1 b0>: basis index = 2*b1 + b0, where b0 is the
+// first (low-role) qubit of the pair and b1 the second. It is the
+// currency of the simulator's two-qubit block fusion: runs of gates
+// touching the same qubit pair collapse into one Mat4 and one
+// four-amplitude sweep.
+type Mat4 [16]complex128
+
+// Identity4 is the 4x4 identity.
+var Identity4 = Mat4{
+	1, 0, 0, 0,
+	0, 1, 0, 0,
+	0, 0, 1, 0,
+	0, 0, 0, 1,
+}
+
+// Mul returns a·b (matrix product).
+func (a Mat4) Mul(b Mat4) Mat4 {
+	var out Mat4
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			var v complex128
+			for k := 0; k < 4; k++ {
+				v += a[r*4+k] * b[k*4+c]
+			}
+			out[r*4+c] = v
+		}
+	}
+	return out
+}
+
+// IsIdentity reports whether a equals the identity up to global phase.
+func (a Mat4) IsIdentity() bool {
+	const eps = 1e-9
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			if r != c && cmplx.Abs(a[r*4+c]) > eps {
+				return false
+			}
+		}
+	}
+	return cmplx.Abs(a[0]-a[5]) < eps && cmplx.Abs(a[0]-a[10]) < eps && cmplx.Abs(a[0]-a[15]) < eps
+}
+
+// Kron1Q embeds a single-qubit unitary into the pair basis: hi false
+// acts on the low-role qubit b0 (I ⊗ m), hi true on b1 (m ⊗ I).
+func Kron1Q(m Mat2, hi bool) Mat4 {
+	if hi {
+		return Mat4{
+			m[0], 0, m[1], 0,
+			0, m[0], 0, m[1],
+			m[2], 0, m[3], 0,
+			0, m[2], 0, m[3],
+		}
+	}
+	return Mat4{
+		m[0], m[1], 0, 0,
+		m[2], m[3], 0, 0,
+		0, 0, m[0], m[1],
+		0, 0, m[2], m[3],
+	}
+}
+
+// GateMat4 returns gate g's 4x4 unitary in the pair basis (q0 low role,
+// q1 high role), or ok=false when g does not fit the pair: a 1q gate on
+// a qubit outside {q0, q1}, a 2q gate not on exactly that pair, or an op
+// with no Mat2/Mat4 form (measure, CCX, ...).
+func GateMat4(g Gate, q0, q1 int) (Mat4, bool) {
+	switch g.Op {
+	case OpCX:
+		if g.Qubits[0] == q0 && g.Qubits[1] == q1 {
+			// Control on b0: swap the rows/cols where b0 = 1.
+			return Mat4{
+				1, 0, 0, 0,
+				0, 0, 0, 1,
+				0, 0, 1, 0,
+				0, 1, 0, 0,
+			}, true
+		}
+		if g.Qubits[0] == q1 && g.Qubits[1] == q0 {
+			// Control on b1.
+			return Mat4{
+				1, 0, 0, 0,
+				0, 1, 0, 0,
+				0, 0, 0, 1,
+				0, 0, 1, 0,
+			}, true
+		}
+		return Identity4, false
+	case OpCZ, OpCPhase:
+		if !samePair(g, q0, q1) {
+			return Identity4, false
+		}
+		ph := complex(-1, 0)
+		if g.Op == OpCPhase {
+			ph = cmplx.Exp(complex(0, g.Params[0]))
+		}
+		m := Identity4
+		m[15] = ph
+		return m, true
+	case OpSWAP:
+		if !samePair(g, q0, q1) {
+			return Identity4, false
+		}
+		return Mat4{
+			1, 0, 0, 0,
+			0, 0, 1, 0,
+			0, 1, 0, 0,
+			0, 0, 0, 1,
+		}, true
+	default:
+		if g.Op.NumQubits() != 1 {
+			return Identity4, false
+		}
+		m, ok := GateMat2(g)
+		if !ok {
+			return Identity4, false
+		}
+		switch g.Qubits[0] {
+		case q0:
+			return Kron1Q(m, false), true
+		case q1:
+			return Kron1Q(m, true), true
+		}
+		return Identity4, false
+	}
+}
+
+// samePair reports whether the 2q gate g acts on exactly {q0, q1}.
+func samePair(g Gate, q0, q1 int) bool {
+	a, b := g.Qubits[0], g.Qubits[1]
+	return (a == q0 && b == q1) || (a == q1 && b == q0)
+}
+
 // GateMat2 returns the 2x2 unitary of a single-qubit gate, or ok=false
 // for non-unitary or multi-qubit ops.
 func GateMat2(g Gate) (Mat2, bool) {

@@ -84,13 +84,22 @@ func Shard(n, workers int, fn func(lo, hi int)) {
 // position-stable, so output ordering is deterministic even though
 // execution ordering is not.
 func ForEach(n, workers int, fn func(i int)) {
+	ForEachWorker(n, workers, func(_, i int) { fn(i) })
+}
+
+// ForEachWorker is ForEach with a stable worker index (0..workers-1)
+// passed to fn, so callers can reuse per-worker buffers (simulator
+// states, RNGs, histograms) across work items. Which worker runs a
+// given item is scheduling-dependent; fn must not let an item's result
+// depend on its worker index.
+func ForEachWorker(n, workers int, fn func(worker, i int)) {
 	workers = Resolve(workers)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -98,16 +107,16 @@ func ForEach(n, workers int, fn func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }

@@ -62,6 +62,42 @@ func TestForEachCoversEveryIndexOnce(t *testing.T) {
 	}
 }
 
+func TestForEachWorkerCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 5, 32} {
+		n := 250
+		seen := make([]atomic.Int64, n)
+		var active atomic.Int64
+		ForEachWorker(n, workers, func(w, i int) {
+			if w < 0 || w >= workers {
+				t.Errorf("workers=%d: worker index %d out of range", workers, w)
+			}
+			active.Add(1)
+			seen[i].Add(1)
+		})
+		if got := active.Load(); got != int64(n) {
+			t.Fatalf("workers=%d: %d calls for %d items", workers, got, n)
+		}
+		for i := range seen {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+// TestForEachWorkerStableSlots checks a worker index is never used by
+// two goroutines at once — the property per-worker buffer reuse needs.
+func TestForEachWorkerStableSlots(t *testing.T) {
+	const workers, n = 4, 400
+	busy := make([]atomic.Int64, workers)
+	ForEachWorker(n, workers, func(w, i int) {
+		if busy[w].Add(1) != 1 {
+			t.Errorf("worker slot %d entered concurrently", w)
+		}
+		busy[w].Add(-1)
+	})
+}
+
 func TestFirstError(t *testing.T) {
 	if FirstError([]error{nil, nil}) != nil {
 		t.Fatal("all-nil should return nil")

@@ -1,0 +1,236 @@
+// Batched shot dispatch: analysis sweeps (Fig 7 per machine, Fig 12
+// staleness per day) run many small-shot jobs, each of which used to
+// spin up its own trajectory pool — with the outer sweep parallel, the
+// inner pools were forced serial to keep -workers a real concurrency
+// bound. BatchRun instead submits every job's shots into ONE shared
+// worker pool: jobs compile up front, shots split into fixed-size work
+// units pulled from a shared queue, and each pool slot reuses its
+// simulator state (per register width), RNG, and histogram buffers
+// across jobs.
+//
+// Determinism: job j's shot s runs on the stream
+// shotSeed(base_j, s) where base_j is derived from BatchJob.Seed
+// exactly as RunOpts derives it from the caller's generator, so a
+// job's Counts are bit-identical to a standalone
+// RunOpts(job.Circ, job.Shots, job.Noise, rand.New(rand.NewSource(job.Seed)), p)
+// for any worker count and any unit granularity (counts merge by
+// commutative integer addition).
+package qsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qcloud/internal/circuit"
+	"qcloud/internal/par"
+)
+
+// BatchJob is one circuit execution submitted to BatchRun.
+type BatchJob struct {
+	Circ  *circuit.Circuit
+	Shots int
+	// Noise is the job's noise model (nil runs noiseless).
+	Noise *NoiseModel
+	// Seed seeds the job's RNG stream: the job's Counts are
+	// bit-identical to RunOpts with rand.New(rand.NewSource(Seed)).
+	Seed int64
+}
+
+// BatchResult is one job's outcome. Err is per-job: a failing job does
+// not abort the rest of the batch.
+type BatchResult struct {
+	Counts Counts
+	Err    error
+}
+
+// batchChunkShots is the trajectory work-unit granularity: small enough
+// that a handful of 300-shot jobs load-balance across a pool, large
+// enough that per-unit bookkeeping (one Counts map) is noise.
+const batchChunkShots = 64
+
+// batchWorker owns one pool slot's reusable buffers, shared across
+// every unit (and therefore every job) the slot executes.
+type batchWorker struct {
+	// states caches one simulator state per register width, since a
+	// batch may interleave jobs of different widths.
+	states map[int]*State
+	sr     *rand.Rand
+	clbits []int
+	dense  []int
+}
+
+func (bw *batchWorker) state(n, workers, minAmps int) (*State, error) {
+	if st, ok := bw.states[n]; ok {
+		return st, nil
+	}
+	st, err := NewState(n)
+	if err != nil {
+		return nil, err
+	}
+	st.SetWorkers(workers).SetKernelMinAmps(minAmps)
+	bw.states[n] = st
+	return st, nil
+}
+
+// BatchRun executes every job on one shared trajectory worker pool and
+// returns per-job results in input order. Exact-path jobs (no noise,
+// terminal measurement only) run as single work units; trajectory jobs
+// are split into shot-range units so many small jobs spread across the
+// pool instead of nesting serial inner pools.
+func BatchRun(jobs []BatchJob, p Parallelism) []BatchResult {
+	results := make([]BatchResult, len(jobs))
+	type jobProg struct {
+		prog  *program
+		base  int64
+		exact bool
+	}
+	progs := make([]jobProg, len(jobs))
+	type unit struct {
+		job    int
+		lo, hi int // trajectory shot range (unused for exact jobs)
+	}
+	var units []unit
+	fuse, fuse2q := p.fusePasses()
+	for j := range jobs {
+		job := &jobs[j]
+		if job.Circ == nil {
+			results[j].Err = fmt.Errorf("qsim: batch job %d: nil circuit", j)
+			continue
+		}
+		if job.Shots <= 0 {
+			results[j].Err = fmt.Errorf("qsim: batch job %d: shots must be positive, got %d", j, job.Shots)
+			continue
+		}
+		if usedQubits(job.Circ) > MaxQubits {
+			results[j].Err = fmt.Errorf("qsim: batch job %d: circuit touches qubits beyond the %d-qubit dense limit", j, MaxQubits)
+			continue
+		}
+		if job.Noise == nil && isTerminalMeasureOnly(job.Circ) {
+			progs[j].exact = true
+			units = append(units, unit{job: j})
+			continue
+		}
+		prog, err := compileProgram(job.Circ, job.Noise, fuse, fuse2q)
+		if err != nil {
+			results[j].Err = err
+			continue
+		}
+		progs[j].prog = prog
+		// The base seed is the first Int63 of the job's generator —
+		// exactly what runTrajectories would have drawn.
+		progs[j].base = rand.New(rand.NewSource(job.Seed)).Int63()
+		for lo := 0; lo < job.Shots; lo += batchChunkShots {
+			hi := lo + batchChunkShots
+			if hi > job.Shots {
+				hi = job.Shots
+			}
+			units = append(units, unit{j, lo, hi})
+		}
+	}
+	workers := p.workers()
+	if workers > len(units) {
+		workers = len(units)
+	}
+	// As in runTrajectories: once the unit pool is parallel it
+	// saturates the CPUs, so per-unit kernels stay serial.
+	kernelWorkers := p.Workers
+	if workers > 1 {
+		kernelWorkers = 1
+	}
+	nSlots := workers
+	if nSlots < 1 {
+		nSlots = 1
+	}
+	pool := make([]batchWorker, nSlots)
+	unitCounts := make([]Counts, len(units))
+	unitErrs := make([]error, len(units))
+	par.ForEachWorker(len(units), workers, func(w, u int) {
+		ut := units[u]
+		job := &jobs[ut.job]
+		if progs[ut.job].exact {
+			// One evolution + multinomial sampling; the job's generator
+			// is created here so its draw sequence matches RunOpts.
+			counts, err := runExact(job.Circ, job.Shots, rand.New(rand.NewSource(job.Seed)), Parallelism{
+				Workers:         kernelWorkers,
+				KernelMinAmps:   p.KernelMinAmps,
+				DisableFusion:   p.DisableFusion,
+				DisableFusion2Q: p.DisableFusion2Q,
+			})
+			unitCounts[u], unitErrs[u] = counts, err
+			return
+		}
+		bw := &pool[w]
+		if bw.sr == nil {
+			bw.states = make(map[int]*State)
+			// Reseeded per shot; lfSource replays the rand.NewSource
+			// streams with a ~4x cheaper reseed (see rngsource.go).
+			bw.sr = rand.New(newLFSource())
+		}
+		st, err := bw.state(job.Circ.NQubits, kernelWorkers, p.KernelMinAmps)
+		if err != nil {
+			unitErrs[u] = err
+			return
+		}
+		nclbits := job.Circ.NClbits
+		if cap(bw.clbits) < nclbits {
+			bw.clbits = make([]int, nclbits)
+		}
+		clbits := bw.clbits[:nclbits]
+		var dense []int
+		if nclbits <= maxDenseClbits {
+			if cap(bw.dense) < 1<<uint(nclbits) {
+				bw.dense = make([]int, 1<<uint(nclbits))
+			}
+			dense = bw.dense[:1<<uint(nclbits)]
+			clear(dense)
+		}
+		local := make(Counts)
+		prog := progs[ut.job].prog
+		base := progs[ut.job].base
+		for s := ut.lo; s < ut.hi; s++ {
+			bw.sr.Seed(shotSeed(base, s))
+			st.Reset()
+			for i := range clbits {
+				clbits[i] = 0
+			}
+			prog.exec(st, clbits, bw.sr)
+			if dense != nil {
+				idx := 0
+				for i, b := range clbits {
+					idx |= b << uint(i)
+				}
+				dense[idx]++
+			} else {
+				local[bitstring(clbits)]++
+			}
+		}
+		for idx, n := range dense {
+			if n > 0 {
+				local[indexBitstring(idx, nclbits)] = n
+			}
+		}
+		unitCounts[u] = local
+	})
+	for u := range units {
+		j := units[u].job
+		if unitErrs[u] != nil && results[j].Err == nil {
+			results[j].Err = unitErrs[u]
+		}
+	}
+	for u := range units {
+		j := units[u].job
+		if results[j].Err != nil {
+			continue
+		}
+		if results[j].Counts == nil {
+			results[j].Counts = make(Counts)
+		}
+		results[j].Counts.merge(unitCounts[u])
+	}
+	for j := range results {
+		if results[j].Err != nil {
+			results[j].Counts = nil
+		}
+	}
+	return results
+}

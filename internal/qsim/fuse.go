@@ -2,11 +2,16 @@
 // stream so the per-shot trajectory loop does zero map lookups, zero
 // matrix construction, and far fewer amplitude sweeps.
 //
-// Three prepasses run during compilation:
+// Four prepasses run during compilation:
 //
 //   - consecutive 1q gates on the same qubit are merged into one
 //     precomputed Mat2 (the classic rz-sx-rz-sx-rz chains compiled
 //     circuits are full of become a single sweep);
+//   - runs of gates touching the same qubit pair — 1q gates on either
+//     qubit, CX/CZ/CPhase/SWAP on the pair — collapse into one
+//     precomputed Mat4 (qsim/qulacs-style 2q block fusion): a compiled
+//     rz·sx·rz—cx—rz·sx·rz conjugation becomes a single
+//     four-amplitude sweep instead of five to seven;
 //   - runs of diagonal gates (I/Z/S/Sdg/T/Tdg/RZ/CZ/CPhase) collapse
 //     into a single phase-table kernel: one sweep multiplies each
 //     amplitude by a precomputed phase indexed by the gathered bits of
@@ -69,6 +74,11 @@ const (
 	// opMat2 applies one precomputed 2x2 unitary to q0 (a fused run of
 	// 1q gates).
 	opMat2
+	// opMat4 applies one precomputed 4x4 unitary to the pair (q0, q1): a
+	// fused two-qubit block absorbing 1q gates on either qubit and
+	// CX/CZ/CPhase/SWAP on the pair, so a compiled rz·sx·rz—cx—rz·sx·rz
+	// conjugation becomes a single four-amplitude sweep.
+	opMat4
 	// opDiag multiplies each amplitude by a phase-table entry indexed by
 	// the gathered bits of the run's touched qubits (a fused run of
 	// diagonal gates).
@@ -109,11 +119,15 @@ func (g *srcGate) qubit(i int) int {
 type fusedOp struct {
 	kind opKind
 	q0   int
+	// q1 is the second qubit of an opMat4 pair: q0 is the Mat4 basis's
+	// low bit b0, q1 its high bit b1.
+	q1 int
 	// identity marks a fused kernel that reduced to the identity (up to
 	// global phase), e.g. a cp(0) run: the sweep is skipped while its
 	// noise draws still happen.
 	identity bool
 	mat      circuit.Mat2 // opMat2
+	mat4     circuit.Mat4 // opMat4
 	// opDiag: masks[k] is the bit mask of table qubit k; the table holds
 	// 2^len(masks) phases split into real/imag halves.
 	masks        []int
@@ -159,8 +173,11 @@ func gateNoiseP(noise *NoiseModel, g circuit.Gate) float64 {
 
 // compileProgram lowers a circuit into a fused op stream. With fuse
 // false every unitary becomes its own opSrc — the pre-fusion engine,
-// kept for A/B benchmarks and equivalence tests.
-func compileProgram(c *circuit.Circuit, noise *NoiseModel, fuse bool) (*program, error) {
+// kept for A/B benchmarks and equivalence tests. fuse2q additionally
+// enables two-qubit block fusion (4x4 kernels); it is an independent
+// A/B toggle so benchmarks can isolate the 2q lever, and is ignored
+// when fuse is false.
+func compileProgram(c *circuit.Circuit, noise *NoiseModel, fuse, fuse2q bool) (*program, error) {
 	p := &program{nqubits: c.NQubits, nclbits: c.NClbits, noisy: noise != nil}
 	p.ops = make([]fusedOp, 0, len(c.Gates))
 	for _, g := range c.Gates {
@@ -185,6 +202,10 @@ func compileProgram(c *circuit.Circuit, noise *NoiseModel, fuse bool) (*program,
 		}
 		last := p.lastOp()
 		switch {
+		case fuse && fuse2q && last != nil && last.kind == opMat4 && last.canAbsorb2Q(g):
+			// The open two-qubit block takes 1q gates on either pair
+			// qubit and CX/CZ/CPhase/SWAP on the pair: one 4x4 product.
+			last.absorb2Q(g, src)
 		case fuse && len(g.Qubits) == 1 && last != nil && last.kind == opMat2 && last.q0 == g.Qubits[0]:
 			// Adjacent 1q gates on the same qubit: one matrix product.
 			last.mat = src.mat.Mul(last.mat)
@@ -192,6 +213,9 @@ func compileProgram(c *circuit.Circuit, noise *NoiseModel, fuse bool) (*program,
 			last.src = append(last.src, src)
 		case fuse && g.Op.IsDiagonal() && last != nil && last.kind == opDiag && last.diagCanAbsorb(g):
 			last.absorbDiag(g, src)
+		case fuse && fuse2q && (g.Op == circuit.OpCX || g.Op == circuit.OpSWAP) && p.open2QBlock(g, src):
+			// A non-diagonal 2q gate preceded by fused 1q runs on its
+			// qubits: the runs and the gate collapsed into one 4x4 block.
 		case fuse && (g.Op == circuit.OpCZ || g.Op == circuit.OpCPhase):
 			// 2q diagonal: starts a phase-table run.
 			op := fusedOp{kind: opDiag, identity: true}
@@ -214,6 +238,25 @@ func compileProgram(c *circuit.Circuit, noise *NoiseModel, fuse bool) (*program,
 		p.ops[oi].finalizeDiag(c.NQubits)
 	}
 	return p, nil
+}
+
+// KernelCounts reports the compiled op-stream length of circuit c under
+// each fusion setting: no fusion, 1q-chain + diagonal-run fusion (the
+// PR 2 engine), and full two-qubit block fusion. It is the
+// kernel-sweep-count lever the prepasses pull, recorded per compiled
+// circuit by cmd/qcloud-bench.
+func KernelCounts(c *circuit.Circuit, noise *NoiseModel) (unfused, fused1q, blocked int, err error) {
+	for _, cfg := range []struct {
+		fuse, fuse2q bool
+		out          *int
+	}{{false, false, &unfused}, {true, false, &fused1q}, {true, true, &blocked}} {
+		prog, cerr := compileProgram(c, noise, cfg.fuse, cfg.fuse2q)
+		if cerr != nil {
+			return 0, 0, 0, cerr
+		}
+		*cfg.out = len(prog.ops)
+	}
+	return unfused, fused1q, blocked, nil
 }
 
 // finalizeDiag precomputes the byte-indexed gather LUT of a diagonal
@@ -275,6 +318,73 @@ func lowerGate(g circuit.Gate, noise *NoiseModel) (srcGate, error) {
 		src.mat = m
 	}
 	return src, nil
+}
+
+// canAbsorb2Q reports whether the open two-qubit block (an opMat4 on
+// the pair {q0, q1}) can take gate g: a 1q gate on either pair qubit,
+// or a CX/CZ/CPhase/SWAP on exactly the pair.
+func (op *fusedOp) canAbsorb2Q(g circuit.Gate) bool {
+	switch g.Op {
+	case circuit.OpCX, circuit.OpCZ, circuit.OpCPhase, circuit.OpSWAP:
+		a, b := g.Qubits[0], g.Qubits[1]
+		return (a == op.q0 && b == op.q1) || (a == op.q1 && b == op.q0)
+	default:
+		return g.Op.NumQubits() == 1 && (g.Qubits[0] == op.q0 || g.Qubits[0] == op.q1)
+	}
+}
+
+// absorb2Q folds gate g into the block's 4x4 product (left-multiplied:
+// later gates act after earlier ones).
+func (op *fusedOp) absorb2Q(g circuit.Gate, src srcGate) {
+	m, ok := circuit.GateMat4(g, op.q0, op.q1)
+	if !ok {
+		// canAbsorb2Q guarantees the embedding exists.
+		panic(fmt.Sprintf("qsim: unembeddable gate %v in 2q block (%d,%d)", g.Op, op.q0, op.q1))
+	}
+	op.mat4 = m.Mul(op.mat4)
+	op.identity = op.mat4.IsIdentity()
+	op.src = append(op.src, src)
+}
+
+// open2QBlock tries to start a two-qubit block at a CX/SWAP on the
+// pair (a, b) by folding in the trailing fused 1q runs on a and/or b.
+// A block only opens when at least one such run is waiting — a bare
+// CX/SWAP keeps its cheaper dedicated exchange kernel — so opening
+// always strictly reduces the sweep count. Absorbed run matrices are
+// multiplied in program order, which preserves both the semantics and
+// the noise-draw sequence (src lists concatenate in program order).
+func (p *program) open2QBlock(g circuit.Gate, src srcGate) bool {
+	a, b := g.Qubits[0], g.Qubits[1]
+	n := len(p.ops)
+	take := 0
+	if n > 0 && p.ops[n-1].kind == opMat2 && (p.ops[n-1].q0 == a || p.ops[n-1].q0 == b) {
+		take = 1
+		other := a
+		if p.ops[n-1].q0 == a {
+			other = b
+		}
+		if n > 1 && p.ops[n-2].kind == opMat2 && p.ops[n-2].q0 == other {
+			take = 2
+		}
+	}
+	if take == 0 {
+		return false
+	}
+	block := fusedOp{kind: opMat4, q0: a, q1: b, mat4: circuit.Identity4}
+	for k := n - take; k < n; k++ {
+		prev := &p.ops[k]
+		block.mat4 = circuit.Kron1Q(prev.mat, prev.q0 == b).Mul(block.mat4)
+		block.src = append(block.src, prev.src...)
+	}
+	gm, ok := circuit.GateMat4(g, a, b)
+	if !ok {
+		return false // unreachable: CX/SWAP on (a, b) always embeds
+	}
+	block.mat4 = gm.Mul(block.mat4)
+	block.identity = block.mat4.IsIdentity()
+	block.src = append(block.src, src)
+	p.ops = append(p.ops[:n-take], block)
+	return true
 }
 
 // diagCanAbsorb reports whether the diagonal run can take g without its
@@ -441,6 +551,10 @@ func (op *fusedOp) applyFast(st *State) {
 	case opMat2:
 		if !op.identity {
 			st.Apply1Q(op.mat, op.q0)
+		}
+	case opMat4:
+		if !op.identity {
+			st.apply2Q(&op.mat4, op.q0, op.q1)
 		}
 	case opDiag:
 		if !op.identity {

@@ -44,25 +44,36 @@ func fusionCases() []struct {
 }
 
 // TestFusedMatchesUnfusedCounts is the fusion prepass's contract: for a
-// fixed seed, Counts are bit-identical with and without fusion, on both
-// the exact and trajectory paths, for every worker count.
+// fixed seed, Counts are bit-identical across {2q block fusion on/off,
+// all fusion on/off} on both the exact and trajectory paths, for every
+// worker count.
 func TestFusedMatchesUnfusedCounts(t *testing.T) {
+	fusionModes := []struct {
+		name               string
+		disable, disable2q bool
+	}{
+		{"blocked", false, false},
+		{"fused-no2q", false, true},
+		{"unfused", true, false},
+	}
 	for _, tc := range fusionCases() {
 		var want Counts
 		for _, w := range []int{1, 2, runtime.NumCPU()} {
-			for _, disable := range []bool{false, true} {
+			for _, mode := range fusionModes {
 				r := rand.New(rand.NewSource(41))
-				got, err := RunOpts(tc.circ, 600, tc.noise, r, Parallelism{Workers: w, DisableFusion: disable})
+				got, err := RunOpts(tc.circ, 600, tc.noise, r, Parallelism{
+					Workers: w, DisableFusion: mode.disable, DisableFusion2Q: mode.disable2q,
+				})
 				if err != nil {
-					t.Fatalf("%s workers=%d fusion=%v: %v", tc.name, w, !disable, err)
+					t.Fatalf("%s workers=%d %s: %v", tc.name, w, mode.name, err)
 				}
 				if want == nil {
 					want = got
 					continue
 				}
 				if !reflect.DeepEqual(want, got) {
-					t.Fatalf("%s: counts diverge at workers=%d fusion=%v:\n%v\nvs\n%v",
-						tc.name, w, !disable, want, got)
+					t.Fatalf("%s: counts diverge at workers=%d %s:\n%v\nvs\n%v",
+						tc.name, w, mode.name, want, got)
 				}
 			}
 		}
@@ -143,7 +154,7 @@ func TestPooledMatchesFreshReference(t *testing.T) {
 func TestShotLoopAllocationFree(t *testing.T) {
 	c := gens.QFTBench(8)
 	noise := UniformNoise(0.002, 0.02, 0.02)
-	prog, err := compileProgram(c, noise, true)
+	prog, err := compileProgram(c, noise, true, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,11 +191,11 @@ func TestShotLoopAllocationFree(t *testing.T) {
 // compile to far fewer kernel sweeps than source gates.
 func TestFusionCollapsesOps(t *testing.T) {
 	c := gens.QFTBench(10)
-	fused, err := compileProgram(c, nil, true)
+	fused, err := compileProgram(c, nil, true, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	unfused, err := compileProgram(c, nil, false)
+	unfused, err := compileProgram(c, nil, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +226,7 @@ func TestFusedAmplitudesMatchNaive(t *testing.T) {
 	}
 	c.T(0).Z(1).CZ(0, 2).CPhase(3, 1, 0.8).RZ(4, 0.7).S(5).Sdg(2).
 		CPhase(5, 0, 0).Tdg(3).CZ(4, 5).H(0).SX(0).RX(1, 0.3).RY(1, 1.1)
-	prog, err := compileProgram(c, nil, true)
+	prog, err := compileProgram(c, nil, true, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +280,7 @@ func TestCPhaseZeroThetaIsFree(t *testing.T) {
 
 	c := circuit.New("cp0", 3)
 	c.CPhase(0, 1, 0).CPhase(1, 2, 0).CPhase(0, 2, 0)
-	prog, err := compileProgram(c, nil, true)
+	prog, err := compileProgram(c, nil, true, true)
 	if err != nil {
 		t.Fatal(err)
 	}

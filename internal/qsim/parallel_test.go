@@ -73,8 +73,23 @@ func TestKernelShardingMatchesSerial(t *testing.T) {
 		s.ApplyCX(0, n-1)
 		s.ApplyCZ(1, n-2)
 		s.ApplyCPhase(2, n-3, 0.7)
+		// SWAP and CCX on low/high/adjacent/straddling bit positions:
+		// the block-iteration kernels clip differently when the bits
+		// are below, at, or above the shard-chunk granularity.
 		s.ApplySWAP(3, n-4)
+		s.ApplySWAP(0, 1)
+		s.ApplySWAP(n-2, n-1)
+		s.ApplySWAP(n-1, 2)
 		s.ApplyCCX(4, 5, n-5)
+		s.ApplyCCX(0, 1, 2)
+		s.ApplyCCX(n-1, 0, n-2)
+		s.ApplyCCX(n-3, n-1, 1)
+		// 2q block kernels, complex and real, both role orders.
+		cxm, _ := circuit.GateMat4(circuit.NewGate(circuit.OpCX, []int{2, n - 2}), 2, n-2)
+		s.Apply2Q(cxm, 2, n-2)
+		u := circuit.Kron1Q(circuit.U3Mat(0.4, 1.2, -0.8), true).Mul(circuit.Kron1Q(circuit.U3Mat(1.1, 0.2, 0.9), false))
+		s.Apply2Q(u, n-1, 0)
+		s.Apply2Q(u, 1, n-3)
 		return s
 	}
 	serial := build(1)

@@ -8,14 +8,17 @@
 // and flipping measured bits with the calibrated readout error.
 //
 // Execution is staged for throughput: circuits are compiled once per
-// Run into a fused op stream (see fuse.go) so the per-shot loop does no
-// map lookups or matrix construction, amplitudes live in split
-// real/imag (SoA) arrays so kernel sweeps are flat float64 loops, gate
-// kernels shard the amplitude array across a goroutine pool once the
-// state is large enough to amortize the fan-out, and noisy shots run on
-// a worker pool with deterministic per-shot RNG streams over pooled
-// state buffers. Results are bit-identical for a fixed seed regardless
-// of worker count (see Parallelism in run.go).
+// Run into a fused op stream (see fuse.go; 1q chains, 2q blocks, and
+// diagonal runs each collapse into single kernels) so the per-shot
+// loop does no map lookups or matrix construction, amplitudes live in
+// split real/imag (SoA) arrays so kernel sweeps are flat float64
+// loops, gate kernels shard the amplitude array across a goroutine
+// pool once the state is large enough to amortize the fan-out, and
+// noisy shots run on a worker pool with deterministic per-shot RNG
+// streams (see rngsource.go) over pooled state buffers. Many small
+// jobs share one pool through BatchRun (see batch.go). Results are
+// bit-identical for a fixed seed regardless of worker count (see
+// Parallelism in run.go).
 package qsim
 
 import (
@@ -287,6 +290,152 @@ func (s *State) Apply1Q(m circuit.Mat2, q int) {
 	s.shard(func(lo, hi int) { s.apply1QRange(m, q, lo, hi) })
 }
 
+// apply2QRange applies a 4x4 unitary to the pair (q0, q1) over the
+// shard whose quad-base indices (both pair bits clear) fall in
+// [lo, hi). The four gathered amplitudes of base i are (i, i|b0, i|b1,
+// i|b0|b1), matching Mat4's |b1 b0> basis. Bases are walked with
+// two-level bit-aligned block iteration — branch-free inner sweeps, no
+// skip-scanning — and every amplitude of a quad is written only by the
+// shard owning the base index, so sharded sweeps are race-free.
+func (s *State) apply2QRange(m *circuit.Mat4, q0, q1, lo, hi int) {
+	b0, b1 := 1<<uint(q0), 1<<uint(q1)
+	var mr, mi [16]float64
+	for k, v := range m {
+		mr[k], mi[k] = real(v), imag(v)
+	}
+	re, im := s.re, s.im
+	bl, bh := b0, b1
+	if bl > bh {
+		bl, bh = bh, bl
+	}
+	stepH, stepL := bh<<1, bl<<1
+	for baseH := lo &^ (stepH - 1); baseH < hi; baseH += stepH {
+		hFirst, hLast := baseH, baseH+bh
+		if hFirst < lo {
+			hFirst = lo
+		}
+		if hLast > hi {
+			hLast = hi
+		}
+		for baseL := hFirst &^ (stepL - 1); baseL < hLast; baseL += stepL {
+			first, last := baseL, baseL+bl
+			if first < hFirst {
+				first = hFirst
+			}
+			if last > hLast {
+				last = hLast
+			}
+			for i := first; i < last; i++ {
+				i1, i2 := i|b0, i|b1
+				i3 := i1 | b1
+				a0r, a0i := re[i], im[i]
+				a1r, a1i := re[i1], im[i1]
+				a2r, a2i := re[i2], im[i2]
+				a3r, a3i := re[i3], im[i3]
+				re[i] = mr[0]*a0r - mi[0]*a0i + mr[1]*a1r - mi[1]*a1i + mr[2]*a2r - mi[2]*a2i + mr[3]*a3r - mi[3]*a3i
+				im[i] = mr[0]*a0i + mi[0]*a0r + mr[1]*a1i + mi[1]*a1r + mr[2]*a2i + mi[2]*a2r + mr[3]*a3i + mi[3]*a3r
+				re[i1] = mr[4]*a0r - mi[4]*a0i + mr[5]*a1r - mi[5]*a1i + mr[6]*a2r - mi[6]*a2i + mr[7]*a3r - mi[7]*a3i
+				im[i1] = mr[4]*a0i + mi[4]*a0r + mr[5]*a1i + mi[5]*a1r + mr[6]*a2i + mi[6]*a2r + mr[7]*a3i + mi[7]*a3r
+				re[i2] = mr[8]*a0r - mi[8]*a0i + mr[9]*a1r - mi[9]*a1i + mr[10]*a2r - mi[10]*a2i + mr[11]*a3r - mi[11]*a3i
+				im[i2] = mr[8]*a0i + mi[8]*a0r + mr[9]*a1i + mi[9]*a1r + mr[10]*a2i + mi[10]*a2r + mr[11]*a3i + mi[11]*a3r
+				re[i3] = mr[12]*a0r - mi[12]*a0i + mr[13]*a1r - mi[13]*a1i + mr[14]*a2r - mi[14]*a2i + mr[15]*a3r - mi[15]*a3i
+				im[i3] = mr[12]*a0i + mi[12]*a0r + mr[13]*a1i + mi[13]*a1r + mr[14]*a2i + mi[14]*a2r + mr[15]*a3i + mi[15]*a3r
+			}
+		}
+	}
+}
+
+// apply2QRealRange is apply2QRange specialized for matrices with no
+// imaginary parts: half the multiplies, and the real and imaginary
+// state halves decouple into independent SIMD-friendly streams.
+func (s *State) apply2QRealRange(m *circuit.Mat4, q0, q1, lo, hi int) {
+	b0, b1 := 1<<uint(q0), 1<<uint(q1)
+	var mr [16]float64
+	for k, v := range m {
+		mr[k] = real(v)
+	}
+	re, im := s.re, s.im
+	bl, bh := b0, b1
+	if bl > bh {
+		bl, bh = bh, bl
+	}
+	stepH, stepL := bh<<1, bl<<1
+	for baseH := lo &^ (stepH - 1); baseH < hi; baseH += stepH {
+		hFirst, hLast := baseH, baseH+bh
+		if hFirst < lo {
+			hFirst = lo
+		}
+		if hLast > hi {
+			hLast = hi
+		}
+		for baseL := hFirst &^ (stepL - 1); baseL < hLast; baseL += stepL {
+			first, last := baseL, baseL+bl
+			if first < hFirst {
+				first = hFirst
+			}
+			if last > hLast {
+				last = hLast
+			}
+			for i := first; i < last; i++ {
+				i1, i2 := i|b0, i|b1
+				i3 := i1 | b1
+				a0r, a0i := re[i], im[i]
+				a1r, a1i := re[i1], im[i1]
+				a2r, a2i := re[i2], im[i2]
+				a3r, a3i := re[i3], im[i3]
+				re[i] = mr[0]*a0r + mr[1]*a1r + mr[2]*a2r + mr[3]*a3r
+				im[i] = mr[0]*a0i + mr[1]*a1i + mr[2]*a2i + mr[3]*a3i
+				re[i1] = mr[4]*a0r + mr[5]*a1r + mr[6]*a2r + mr[7]*a3r
+				im[i1] = mr[4]*a0i + mr[5]*a1i + mr[6]*a2i + mr[7]*a3i
+				re[i2] = mr[8]*a0r + mr[9]*a1r + mr[10]*a2r + mr[11]*a3r
+				im[i2] = mr[8]*a0i + mr[9]*a1i + mr[10]*a2i + mr[11]*a3i
+				re[i3] = mr[12]*a0r + mr[13]*a1r + mr[14]*a2r + mr[15]*a3r
+				im[i3] = mr[12]*a0i + mr[13]*a1i + mr[14]*a2i + mr[15]*a3i
+			}
+		}
+	}
+}
+
+// isRealMat4 reports whether every entry of m is real.
+func isRealMat4(m *circuit.Mat4) bool {
+	for _, v := range m {
+		if imag(v) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply2Q applies a 4x4 unitary to the ordered qubit pair (q0, q1):
+// q0 is the matrix's low basis bit b0 and q1 the high bit b1 (see
+// circuit.Mat4). The two qubits must be distinct.
+func (s *State) Apply2Q(m circuit.Mat4, q0, q1 int) {
+	s.apply2Q(&m, q0, q1)
+}
+
+// apply2Q is the pointer-taking kernel entry the fused executor uses:
+// a Mat4 is too large for by-value closure capture, so taking it by
+// pointer (into the heap-resident compiled program) keeps the
+// steady-state shot loop allocation-free.
+func (s *State) apply2Q(m *circuit.Mat4, q0, q1 int) {
+	if q0 == q1 {
+		panic("qsim: Apply2Q requires distinct qubits")
+	}
+	if isRealMat4(m) {
+		if s.serialKernel() {
+			s.apply2QRealRange(m, q0, q1, 0, len(s.re))
+			return
+		}
+		s.shard(func(lo, hi int) { s.apply2QRealRange(m, q0, q1, lo, hi) })
+		return
+	}
+	if s.serialKernel() {
+		s.apply2QRange(m, q0, q1, 0, len(s.re))
+		return
+	}
+	s.shard(func(lo, hi int) { s.apply2QRange(m, q0, q1, lo, hi) })
+}
+
 func (s *State) applyCXRange(ctrl, tgt, lo, hi int) {
 	cb, tb := 1<<uint(ctrl), 1<<uint(tgt)
 	re, im := s.re, s.im
@@ -355,15 +504,40 @@ func (s *State) ApplyCPhase(a, b int, theta float64) {
 	s.shard(func(lo, hi int) { s.applyCPhaseRange(a, b, ph, lo, hi) })
 }
 
+// applySWAPRange exchanges the (a=1,b=0) and (a=0,b=1) amplitudes.
+// Like apply2QRange it walks quad bases (both bits clear) with
+// two-level bit-aligned block iteration instead of skip-scanning the
+// full index space; a shard owning base i writes only i|ab and i|bb,
+// which no other shard enumerates, so sharded sweeps stay race-free.
 func (s *State) applySWAPRange(a, b, lo, hi int) {
 	ab, bb := 1<<uint(a), 1<<uint(b)
 	re, im := s.re, s.im
-	for i := lo; i < hi; i++ {
-		// Visit each (01) index once; its partner is (10).
-		if i&ab != 0 && i&bb == 0 {
-			j := (i &^ ab) | bb
-			re[i], re[j] = re[j], re[i]
-			im[i], im[j] = im[j], im[i]
+	bl, bh := ab, bb
+	if bl > bh {
+		bl, bh = bh, bl
+	}
+	stepH, stepL := bh<<1, bl<<1
+	for baseH := lo &^ (stepH - 1); baseH < hi; baseH += stepH {
+		hFirst, hLast := baseH, baseH+bh
+		if hFirst < lo {
+			hFirst = lo
+		}
+		if hLast > hi {
+			hLast = hi
+		}
+		for baseL := hFirst &^ (stepL - 1); baseL < hLast; baseL += stepL {
+			first, last := baseL, baseL+bl
+			if first < hFirst {
+				first = hFirst
+			}
+			if last > hLast {
+				last = hLast
+			}
+			for i := first; i < last; i++ {
+				p, q := i|ab, i|bb
+				re[p], re[q] = re[q], re[p]
+				im[p], im[q] = im[q], im[p]
+			}
 		}
 	}
 }
@@ -377,14 +551,58 @@ func (s *State) ApplySWAP(a, b int) {
 	s.shard(func(lo, hi int) { s.applySWAPRange(a, b, lo, hi) })
 }
 
+// applyCCXRange flips the target amplitude pairs where both controls
+// are set. Octet bases (all three bits clear) are walked with
+// three-level bit-aligned block iteration — an eighth of the index
+// space, branch-free — instead of condition-scanning every index. A
+// shard owning base i writes only i|b1|b2 and i|b1|b2|tb, which no
+// other shard enumerates.
 func (s *State) applyCCXRange(c1, c2, tgt, lo, hi int) {
 	b1, b2, tb := 1<<uint(c1), 1<<uint(c2), 1<<uint(tgt)
 	re, im := s.re, s.im
-	for i := lo; i < hi; i++ {
-		if i&b1 != 0 && i&b2 != 0 && i&tb == 0 {
-			j := i | tb
-			re[i], re[j] = re[j], re[i]
-			im[i], im[j] = im[j], im[i]
+	set := b1 | b2
+	s0, s1, s2 := b1, b2, tb
+	if s0 > s1 {
+		s0, s1 = s1, s0
+	}
+	if s1 > s2 {
+		s1, s2 = s2, s1
+	}
+	if s0 > s1 {
+		s0, s1 = s1, s0
+	}
+	step2, step1, step0 := s2<<1, s1<<1, s0<<1
+	for base2 := lo &^ (step2 - 1); base2 < hi; base2 += step2 {
+		f2, l2 := base2, base2+s2
+		if f2 < lo {
+			f2 = lo
+		}
+		if l2 > hi {
+			l2 = hi
+		}
+		for base1 := f2 &^ (step1 - 1); base1 < l2; base1 += step1 {
+			f1, l1 := base1, base1+s1
+			if f1 < f2 {
+				f1 = f2
+			}
+			if l1 > l2 {
+				l1 = l2
+			}
+			for base0 := f1 &^ (step0 - 1); base0 < l1; base0 += step0 {
+				first, last := base0, base0+s0
+				if first < f1 {
+					first = f1
+				}
+				if last > l1 {
+					last = l1
+				}
+				for i := first; i < last; i++ {
+					p := i | set
+					q := p | tb
+					re[p], re[q] = re[q], re[p]
+					im[p], im[q] = im[q], im[p]
+				}
+			}
 		}
 	}
 }

@@ -1,0 +1,82 @@
+package qsim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestLFSourceMatchesStdlib is the fast source's entire contract:
+// bit-identical output to rand.NewSource for the same seed — raw
+// Uint64/Int63 streams and the derived Float64/Intn draws the
+// trajectory engine consumes — across positive, negative, zero, and
+// shot-derived seeds, including reseeding the same instance.
+func TestLFSourceMatchesStdlib(t *testing.T) {
+	seeds := []int64{1, 0, -1, 42, 1<<62 + 12345, -(1 << 40), int31max, int31max + 1}
+	for s := 0; s < 40; s++ {
+		seeds = append(seeds, shotSeed(977, s))
+	}
+	fast := newLFSource()
+	fastRand := rand.New(newLFSource())
+	for _, seed := range seeds {
+		ref := rand.NewSource(seed).(rand.Source64)
+		fast.Seed(seed)
+		for k := 0; k < 700; k++ {
+			if got, want := fast.Uint64(), ref.Uint64(); got != want {
+				t.Fatalf("seed %d draw %d: Uint64 %d != stdlib %d", seed, k, got, want)
+			}
+		}
+		refRand := rand.New(rand.NewSource(seed))
+		fastRand.Seed(seed)
+		for k := 0; k < 200; k++ {
+			switch k % 3 {
+			case 0:
+				if got, want := fastRand.Float64(), refRand.Float64(); got != want {
+					t.Fatalf("seed %d draw %d: Float64 %v != stdlib %v", seed, k, got, want)
+				}
+			case 1:
+				if got, want := fastRand.Intn(3), refRand.Intn(3); got != want {
+					t.Fatalf("seed %d draw %d: Intn(3) %d != stdlib %d", seed, k, got, want)
+				}
+			default:
+				if got, want := fastRand.Int63(), refRand.Int63(); got != want {
+					t.Fatalf("seed %d draw %d: Int63 %d != stdlib %d", seed, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestLFSeedrandMatchesSchrage checks the Mersenne-fold reduction
+// against the reference (48271·x) mod 2³¹-1 over boundary and random
+// inputs.
+func TestLFSeedrandMatchesSchrage(t *testing.T) {
+	check := func(x int32) {
+		want := int32((int64(x) * 48271) % int31max)
+		if got := lfSeedrand(x); got != want {
+			t.Fatalf("lfSeedrand(%d) = %d, want %d", x, got, want)
+		}
+	}
+	for _, x := range []int32{1, 2, 89482311, int31max - 1, 44488, 48271} {
+		check(x)
+	}
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		check(int32(r.Intn(int31max-1)) + 1)
+	}
+}
+
+// BenchmarkSeed compares per-shot reseeding cost: the stdlib source's
+// division-based warm-up vs the folded reimplementation.
+func BenchmarkSeedStdlib(b *testing.B) {
+	src := rand.NewSource(1)
+	for i := 0; i < b.N; i++ {
+		src.Seed(int64(i))
+	}
+}
+
+func BenchmarkSeedLFSource(b *testing.B) {
+	src := newLFSource()
+	for i := 0; i < b.N; i++ {
+		src.Seed(int64(i))
+	}
+}

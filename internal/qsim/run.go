@@ -37,6 +37,17 @@ type Parallelism struct {
 	// per source gate (the pre-fusion engine). Purely a benchmarking
 	// and verification knob: Counts are identical either way.
 	DisableFusion bool
+	// DisableFusion2Q keeps the 1q-chain and diagonal-run fusion but
+	// skips two-qubit block fusion (the PR 2 engine) — an A/B toggle
+	// isolating the 2q lever. Implied by DisableFusion; Counts are
+	// identical either way.
+	DisableFusion2Q bool
+}
+
+// fusePasses resolves the (fuse, fuse2q) compile flags.
+func (p Parallelism) fusePasses() (fuse, fuse2q bool) {
+	fuse = !p.DisableFusion
+	return fuse, fuse && !p.DisableFusion2Q
 }
 
 // workers resolves the effective worker count.
@@ -180,7 +191,9 @@ func isTerminalMeasureOnly(c *circuit.Circuit) bool {
 // distribution multinomially from the caller's generator, exactly as
 // the serial engine did.
 func runExact(c *circuit.Circuit, shots int, r *rand.Rand, p Parallelism) (Counts, error) {
-	prog, err := compileProgram(c, nil, !p.DisableFusion && c.NQubits >= exactFuseMinQubits)
+	fuse, fuse2q := p.fusePasses()
+	fuse = fuse && c.NQubits >= exactFuseMinQubits
+	prog, err := compileProgram(c, nil, fuse, fuse && fuse2q)
 	if err != nil {
 		return nil, err
 	}
@@ -252,7 +265,8 @@ func shotSeed(base int64, s int) int64 {
 // scratch buffer, and — for registers up to maxDenseClbits — a dense
 // outcome histogram that is converted to Counts once at the end.
 func runTrajectories(c *circuit.Circuit, shots int, noise *NoiseModel, r *rand.Rand, p Parallelism) (Counts, error) {
-	prog, err := compileProgram(c, noise, !p.DisableFusion)
+	fuse, fuse2q := p.fusePasses()
+	prog, err := compileProgram(c, noise, fuse, fuse2q)
 	if err != nil {
 		return nil, err
 	}
@@ -295,7 +309,9 @@ func runTrajectories(c *circuit.Circuit, shots int, noise *NoiseModel, r *rand.R
 			return
 		}
 		st.SetWorkers(kernelWorkers).SetKernelMinAmps(p.KernelMinAmps)
-		sr := rand.New(rand.NewSource(0))
+		// lfSource replays exactly the rand.NewSource streams with a
+		// ~4x cheaper per-shot reseed (see rngsource.go).
+		sr := rand.New(newLFSource())
 		clbits := make([]int, c.NClbits)
 		var dense []int
 		if c.NClbits <= maxDenseClbits {
