@@ -22,15 +22,18 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"qcloud/internal/analysis"
 	"qcloud/internal/backend"
 	"qcloud/internal/circuit"
 	"qcloud/internal/circuit/gens"
+	"qcloud/internal/cloud"
 	"qcloud/internal/compile"
 	"qcloud/internal/par"
 	"qcloud/internal/qsim"
+	"qcloud/internal/workload"
 )
 
 // Result is one benchmark's measurement.
@@ -312,6 +315,71 @@ func run(iters, maxWidth, shots int) (*Report, error) {
 			sc.name, unfused, fused1q, blocked)
 	}
 
+	// CloudFleetSweep: the discrete-event cloud fleet over a two-month
+	// window (full fleet, ~300 study jobs) through the batch wrapper
+	// and through the session API — serial vs parallel fleet fan-out,
+	// plus the online submission pattern (advance + snapshot + submit
+	// per job) the live sched policies drive. The session rows measure
+	// the event-driven core's overhead against batch Simulate.
+	cloudStart := time.Date(2021, 2, 1, 0, 0, 0, 0, time.UTC)
+	cloudEnd := cloudStart.AddDate(0, 2, 0)
+	cloudSpecs := workload.Generate(workload.Config{Seed: 5, TotalJobs: 300, Start: cloudStart, End: cloudEnd})
+	cloudOrdered := make([]*cloud.JobSpec, len(cloudSpecs))
+	copy(cloudOrdered, cloudSpecs)
+	sort.SliceStable(cloudOrdered, func(i, j int) bool {
+		return cloudOrdered[i].SubmitTime.Before(cloudOrdered[j].SubmitTime)
+	})
+	cloudCfg := func(workers int) cloud.Config {
+		return cloud.Config{Seed: 5, Start: cloudStart, End: cloudEnd, Workers: workers}
+	}
+	for _, mode := range []struct {
+		name string
+		f    func() error
+	}{
+		{"CloudFleetSweep/simulate-serial", func() error {
+			_, err := cloud.Simulate(cloudCfg(1), cloudSpecs)
+			return err
+		}},
+		{"CloudFleetSweep/simulate-parallel-4", func() error {
+			_, err := cloud.Simulate(cloudCfg(4), cloudSpecs)
+			return err
+		}},
+		{"CloudFleetSweep/session-batch", func() error {
+			sess, err := cloud.Open(cloudCfg(1))
+			if err != nil {
+				return err
+			}
+			for _, s := range cloudSpecs {
+				if _, err := sess.Submit(s); err != nil {
+					return err
+				}
+			}
+			_, err = sess.Run()
+			return err
+		}},
+		{"CloudFleetSweep/session-online", func() error {
+			sess, err := cloud.Open(cloudCfg(1))
+			if err != nil {
+				return err
+			}
+			for _, s := range cloudOrdered {
+				sess.AdvanceTo(s.SubmitTime)
+				if _, err := sess.QueueState(s.Machine); err != nil {
+					return err
+				}
+				if _, err := sess.Submit(s); err != nil {
+					return err
+				}
+			}
+			_, err = sess.Run()
+			return err
+		}},
+	} {
+		if err := add(measure(mode.name, iters, mode.f)); err != nil {
+			return nil, err
+		}
+	}
+
 	// Kernel crossover probe: the same 16q exact evolution with the
 	// parallel threshold forced low, default, and high — the knob
 	// Parallelism.KernelMinAmps exposes.
@@ -342,6 +410,11 @@ func run(iters, maxWidth, shots int) (*Report, error) {
 		// worker count.
 		{"BatchedSweep", "BatchedSweep/per-job-no2q", "BatchedSweep/batched", "pr2-per-job-no2q"},
 		{"BatchedSweep", "BatchedSweep/per-job", "BatchedSweep/batched", "per-job-pools"},
+		// Session-API overhead vs the batch entry point (≈1.0 means the
+		// event-driven core costs nothing over the old fused loop).
+		{"CloudFleetSweep", "CloudFleetSweep/simulate-serial", "CloudFleetSweep/simulate-parallel-4", "serial"},
+		{"CloudFleetSweep/session-batch", "CloudFleetSweep/simulate-serial", "CloudFleetSweep/session-batch", "batch-simulate"},
+		{"CloudFleetSweep/session-online", "CloudFleetSweep/simulate-serial", "CloudFleetSweep/session-online", "batch-simulate"},
 	}
 	for _, n := range []int{16, 20, 22} {
 		if n > maxWidth {

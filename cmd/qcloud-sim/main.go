@@ -1,11 +1,14 @@
 // qcloud-sim generates the two-year synthetic study trace: the
-// workload model produces the study's job stream, the cloud simulator
-// queues and executes it against the background load, and the result
-// is written as CSV (jobs) and/or JSON (jobs + machine queue samples).
+// workload model produces the study's job stream, an event-driven
+// cloud session queues and executes it against the background load,
+// and the result is written as CSV (jobs) and/or JSON (jobs + machine
+// queue samples). With -events the session's lifecycle stream is
+// tallied live as the fleet advances.
 //
 // Usage:
 //
 //	qcloud-sim -seed 42 -jobs 6200 -workers 8 -csv trace.csv -json trace.json
+//	qcloud-sim -seed 42 -events
 package main
 
 import (
@@ -29,13 +32,36 @@ func main() {
 		workers = flag.Int("workers", 0, "worker pool size for the fleet sweep (0 = NumCPU, 1 = serial; output is identical either way)")
 		csvPath = flag.String("csv", "", "write job records as CSV to this path")
 		jsPath  = flag.String("json", "", "write the full trace (jobs + machine stats) as JSON to this path")
+		events  = flag.Bool("events", false, "subscribe to the session event stream and print per-kind totals")
 		quiet   = flag.Bool("q", false, "suppress the summary")
 	)
 	flag.Parse()
 	par.SetWorkers(*workers)
 
 	specs := workload.Generate(workload.Config{Seed: *seed, TotalJobs: *jobs})
-	tr, err := cloud.Simulate(cloud.Config{Seed: *seed, Workers: *workers}, specs)
+	sess, err := cloud.Open(cloud.Config{Seed: *seed, Workers: *workers})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Event totals are tallied from the observation stream while the
+	// fleet advances; the channel closes once the session ends.
+	tallied := make(chan map[cloud.EventKind]int64, 1)
+	if *events {
+		stream := sess.Observe(cloud.EventFilter{})
+		go func() {
+			counts := make(map[cloud.EventKind]int64)
+			for ev := range stream {
+				counts[ev.Kind]++
+			}
+			tallied <- counts
+		}()
+	}
+	for _, s := range specs {
+		if _, err := sess.Submit(s); err != nil {
+			log.Fatal(err)
+		}
+	}
+	tr, err := sess.Run()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,6 +88,16 @@ func main() {
 		}
 		if err := f.Close(); err != nil {
 			log.Fatal(err)
+		}
+	}
+	if *events {
+		counts := <-tallied
+		fmt.Println("session events (study + background):")
+		for _, k := range []cloud.EventKind{
+			cloud.EventEnqueue, cloud.EventStart, cloud.EventDone, cloud.EventError,
+			cloud.EventCancel, cloud.EventDowntime, cloud.EventPendingSample,
+		} {
+			fmt.Printf("  %-15s %d\n", k, counts[k])
 		}
 	}
 	if *quiet {

@@ -8,18 +8,19 @@
 // explicit JobSpecs and everyone else is the modeled background load,
 // which is what produces the queuing-time distributions of Figs 3, 4,
 // 10 and the pending-job counts of Fig 9.
+//
+// The core is the event-driven Session API: Open a session, Submit
+// jobs (up-front or mid-run), Observe lifecycle events, query live
+// QueueState snapshots, and Run to the end of the window. Simulate is
+// the batch convenience wrapper over it.
 package cloud
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 	"time"
 
 	"qcloud/internal/backend"
-	"qcloud/internal/par"
-	"qcloud/internal/stats"
 	"qcloud/internal/trace"
 )
 
@@ -62,8 +63,13 @@ type Config struct {
 	PendingSampleEvery time.Duration
 	// ErrorRate is the probability an executed job errors out
 	// (default 0.035, matching Fig 2b's ~5% non-DONE combined with
-	// cancellations).
+	// cancellations). A zero value means "use the default"; set
+	// NoErrors to model a perfect-execution fleet.
 	ErrorRate float64
+	// NoErrors disables execution errors entirely. Without it an
+	// explicit zero ErrorRate is indistinguishable from "unset" and
+	// silently becomes the default.
+	NoErrors bool
 	// Workers bounds the per-machine simulation fan-out (0 = process
 	// default, 1 = serial). Machines are independent event loops with
 	// machine-seeded RNGs, so the trace is bit-identical for any
@@ -87,56 +93,31 @@ func (c Config) withDefaults() Config {
 	if c.PendingSampleEvery <= 0 {
 		c.PendingSampleEvery = 6 * time.Hour
 	}
-	if c.ErrorRate <= 0 {
+	if c.NoErrors {
+		c.ErrorRate = 0
+	} else if c.ErrorRate <= 0 {
 		c.ErrorRate = 0.035
 	}
 	return c
 }
 
 // Simulate runs the cloud over the configured window with the given
-// study jobs and returns the trace. Study jobs may target any machine
-// in the fleet; specs on unknown machines are an error.
+// study jobs and returns the trace: the batch wrapper over the Session
+// API (open, submit everything, run to completion). Study jobs may
+// target any machine in the fleet; specs on unknown machines are an
+// error.
 func Simulate(cfg Config, specs []*JobSpec) (*trace.Trace, error) {
-	c := cfg.withDefaults()
-	byMachine := make(map[string][]*JobSpec)
-	for _, s := range specs {
-		byMachine[s.Machine] = append(byMachine[s.Machine], s)
+	s, err := Open(cfg)
+	if err != nil {
+		return nil, err
 	}
-	known := make(map[string]bool)
-	for _, m := range c.Machines {
-		known[m.Name] = true
-	}
-	for name := range byMachine {
-		if !known[name] {
-			return nil, fmt.Errorf("cloud: study job targets unknown machine %q", name)
+	defer s.Close()
+	for _, spec := range specs {
+		if _, err := s.Submit(spec); err != nil {
+			return nil, err
 		}
 	}
-	// Each machine is an independent single-server queue with its own
-	// seeded RNG, so the fleet sweep runs on a worker pool. Job IDs are
-	// assigned afterwards in (machine order, record order) — the exact
-	// sequence the serial loop produced — keeping traces bit-identical
-	// across worker counts.
-	out := &trace.Trace{}
-	results := make([]machineResult, len(c.Machines))
-	par.ForEach(len(c.Machines), c.Workers, func(i int) {
-		results[i] = simulateMachine(c, c.Machines[i], byMachine[c.Machines[i].Name])
-	})
-	var nextID int64
-	for _, ms := range results {
-		for _, j := range ms.jobs {
-			nextID++
-			j.ID = nextID
-		}
-		out.Jobs = append(out.Jobs, ms.jobs...)
-		out.Machines = append(out.Machines, ms.stats)
-	}
-	sort.Slice(out.Jobs, func(i, j int) bool {
-		if !out.Jobs[i].SubmitTime.Equal(out.Jobs[j].SubmitTime) {
-			return out.Jobs[i].SubmitTime.Before(out.Jobs[j].SubmitTime)
-		}
-		return out.Jobs[i].ID < out.Jobs[j].ID
-	})
-	return out, nil
+	return s.Run()
 }
 
 // queuedJob is a job waiting in a machine queue (study or background).
@@ -201,11 +182,6 @@ func (h *jobHeap) pop() *queuedJob {
 	return top
 }
 
-type machineResult struct {
-	jobs  []*trace.Job
-	stats *trace.MachineStats
-}
-
 // fairSharePenalty converts recent machine-seconds of usage into queue
 // priority penalty seconds: heavy users wait behind light users even
 // when they submitted earlier, the IBM fair-share behavior the paper
@@ -215,257 +191,6 @@ const fairSharePenalty = 8
 
 // usageDecayHours is the half-life of fair-share usage accounting.
 const usageDecayHours = 24
-
-// simulateMachine runs the single-server queue for one machine. Job
-// IDs are left zero; Simulate assigns them in deterministic fleet
-// order after the parallel sweep.
-func simulateMachine(cfg Config, m *backend.Machine, specs []*JobSpec) machineResult {
-	r := rand.New(rand.NewSource(cfg.Seed*7919 + m.Seed))
-	mstats := &trace.MachineStats{Name: m.Name, Qubits: m.NumQubits(), Public: m.Public}
-	res := machineResult{stats: mstats}
-
-	sort.Slice(specs, func(i, j int) bool { return specs[i].SubmitTime.Before(specs[j].SubmitTime) })
-
-	simStart := cfg.Start
-	toSec := func(t time.Time) float64 { return t.Sub(simStart).Seconds() }
-	toTime := func(s float64) time.Time { return simStart.Add(time.Duration(s * float64(time.Second))) }
-
-	online := m.Online
-	if online.Before(cfg.Start) {
-		online = cfg.Start
-	}
-	offline := cfg.End
-	if !m.Retired.IsZero() && m.Retired.Before(offline) {
-		offline = m.Retired
-	}
-	if !online.Before(offline) {
-		return res // machine never online within the window
-	}
-
-	bg := newBackgroundStream(cfg.Background, m, r,
-		toSec(online), toSec(offline),
-		toSec(m.Online), toSec(backend.StudyEnd))
-
-	// Maintenance downtimes: hardware drops offline for hours (rarely
-	// days) roughly fortnightly. Backlogs built during downtime are the
-	// source of the paper's day-plus queuing tail (Fig 3).
-	downtimes := genDowntimes(r, toSec(online), toSec(offline))
-	// Start times are monotone (the server is serial), so a moving
-	// index suffices to apply downtime displacement in O(1) amortized.
-	dtIdx := 0
-	afterDowntime := func(t float64) float64 {
-		for dtIdx < len(downtimes) && t >= downtimes[dtIdx][1] {
-			dtIdx++
-		}
-		if dtIdx < len(downtimes) && t >= downtimes[dtIdx][0] {
-			t = downtimes[dtIdx][1]
-			dtIdx++
-		}
-		return t
-	}
-
-	// Fair-share usage accounting, exponentially decayed.
-	usage := make(map[string]*float64)
-	lastDecay := make(map[string]float64)
-	chargedUsage := func(user string, now float64) *float64 {
-		u, ok := usage[user]
-		if !ok {
-			v := 0.0
-			u = &v
-			usage[user] = u
-			lastDecay[user] = now
-		} else {
-			dt := now - lastDecay[user]
-			if dt > 0 {
-				*u *= decayFactor(dt)
-				lastDecay[user] = now
-			}
-		}
-		return u
-	}
-
-	var queue jobHeap
-	var seq int64
-	var waitRatios []float64
-	enqueue := func(spec *JobSpec, submit, execSec, patience float64, user string) {
-		u := chargedUsage(user, submit)
-		seq++
-		queue.push(&queuedJob{
-			spec: spec, submit: submit, execSec: execSec, patience: patience,
-			priority: submit + fairSharePenalty*(*u), seq: seq, userUsage: u,
-			pendingAtSubmit: len(queue),
-		})
-	}
-
-	specIdx := 0
-	nextSpecTime := func() (float64, bool) {
-		if specIdx >= len(specs) {
-			return 0, false
-		}
-		st := toSec(specs[specIdx].SubmitTime)
-		if specs[specIdx].SubmitTime.Before(online) {
-			// Submitted before machine online: queue at online time.
-			st = toSec(online)
-		}
-		return st, true
-	}
-
-	endSec := toSec(offline)
-	sampleEvery := cfg.PendingSampleEvery.Seconds()
-	nextSample := toSec(online) + sampleEvery
-
-	busyUntil := toSec(online)
-	// admitArrivals pulls every arrival (study + background) with
-	// submit time <= horizon into the queue.
-	admitArrivals := func(horizon float64) {
-		for {
-			bgT, bgOK := bg.peek()
-			spT, spOK := nextSpecTime()
-			switch {
-			case bgOK && bgT <= horizon && (!spOK || bgT <= spT):
-				bg.next()
-				execSec := bg.sampleExecSeconds(r)
-				user := fmt.Sprintf("bg-%d", r.Intn(cfg.Background.Users))
-				enqueue(nil, bgT, execSec, bg.samplePatience(r), user)
-				mstats.BackgroundJobs++
-			case spOK && spT <= horizon:
-				s := specs[specIdx]
-				specIdx++
-				execSec := m.ExecSeconds(s.BatchSize, s.Shots, s.TotalDepth) * (0.9 + 0.2*r.Float64())
-				enqueue(s, spT, execSec, s.PatienceSec, s.User)
-			default:
-				return
-			}
-		}
-	}
-
-	samplePending := func(now float64) {
-		for nextSample <= now && nextSample <= endSec {
-			mstats.PendingSamples = append(mstats.PendingSamples, trace.PendingSample{
-				Machine: m.Name, Time: toTime(nextSample), Pending: len(queue),
-			})
-			nextSample += sampleEvery
-		}
-	}
-
-	recordStudy := func(q *queuedJob, start, end float64, status trace.Status) {
-		s := q.spec
-		startT, endT := toTime(start), toTime(end)
-		// Float-second round-tripping can land a nanosecond before the
-		// submission instant; clamp to keep records consistent.
-		if startT.Before(s.SubmitTime) {
-			startT = s.SubmitTime
-		}
-		if endT.Before(startT) {
-			endT = startT
-		}
-		j := &trace.Job{
-			User: s.User, Machine: m.Name,
-			MachineQubits: m.NumQubits(), Public: m.Public,
-			CircuitName: s.CircuitName, BatchSize: s.BatchSize, Shots: s.Shots,
-			Width: s.Width, TotalDepth: s.TotalDepth, TotalGateOps: s.TotalGateOps,
-			CXTotal: s.CXTotal, MemSlots: s.MemSlots,
-			SubmitTime: s.SubmitTime, StartTime: startT, EndTime: endT,
-			Status:       status,
-			CompileEpoch: m.CalibrationEpochAt(s.SubmitTime),
-			ExecEpoch:    m.CalibrationEpochAt(startT),
-		}
-		res.jobs = append(res.jobs, j)
-	}
-
-	for {
-		if len(queue) == 0 {
-			// Idle: jump to the next arrival.
-			bgT, bgOK := bg.peek()
-			spT, spOK := nextSpecTime()
-			if !bgOK && !spOK {
-				break
-			}
-			t := spT
-			if bgOK && (!spOK || bgT <= spT) {
-				t = bgT
-			}
-			if t >= endSec {
-				break
-			}
-			samplePending(t)
-			admitArrivals(t)
-			if busyUntil < t {
-				busyUntil = t
-			}
-			continue
-		}
-		q := queue.pop()
-		start := busyUntil
-		if start < q.submit {
-			start = q.submit
-		}
-		start = afterDowntime(start)
-		if start >= endSec {
-			// Machine retires/window closes with jobs still queued:
-			// study jobs get cancelled at the boundary.
-			if q.spec != nil {
-				recordStudy(q, endSec, endSec, trace.StatusCancelled)
-			}
-			continue
-		}
-		if q.patience > 0 && start > q.submit+q.patience {
-			// User gave up while waiting.
-			if q.spec != nil {
-				cancelAt := q.submit + q.patience
-				recordStudy(q, cancelAt, cancelAt, trace.StatusCancelled)
-			}
-			continue
-		}
-		// Wait-prediction calibration sample (subsampled; background
-		// jobs only, with a non-empty queue at submission).
-		if q.spec == nil && q.pendingAtSubmit > 0 && q.seq%13 == 0 {
-			ratio := (start - q.submit) / (float64(q.pendingAtSubmit) * bg.meanExec)
-			waitRatios = append(waitRatios, ratio)
-		}
-		status := trace.StatusDone
-		execSec := q.execSec
-		if r.Float64() < cfg.ErrorRate {
-			status = trace.StatusError
-			execSec *= 0.5 // errored jobs die partway through
-		}
-		end := start + execSec
-		if q.spec != nil {
-			recordStudy(q, start, end, status)
-		}
-		// Charge fair-share usage at completion.
-		*q.userUsage += execSec
-		busyUntil = end
-		samplePending(end)
-		admitArrivals(end)
-	}
-	// Study jobs submitted after the machine went offline (or never
-	// admitted before the loop ended) are recorded as cancelled.
-	for ; specIdx < len(specs); specIdx++ {
-		s := specs[specIdx]
-		at := s.SubmitTime
-		if at.Before(online) {
-			at = online
-		}
-		res.jobs = append(res.jobs, &trace.Job{
-			User: s.User, Machine: m.Name,
-			MachineQubits: m.NumQubits(), Public: m.Public,
-			CircuitName: s.CircuitName, BatchSize: s.BatchSize, Shots: s.Shots,
-			Width: s.Width, TotalDepth: s.TotalDepth, TotalGateOps: s.TotalGateOps,
-			CXTotal: s.CXTotal, MemSlots: s.MemSlots,
-			SubmitTime: s.SubmitTime, StartTime: at, EndTime: at,
-			Status:       trace.StatusCancelled,
-			CompileEpoch: m.CalibrationEpochAt(s.SubmitTime),
-			ExecEpoch:    m.CalibrationEpochAt(at),
-		})
-	}
-	if len(waitRatios) >= 30 {
-		sorted := stats.SortedCopy(waitRatios)
-		qs := stats.QuantilesSorted(sorted, 0.1, 0.5, 0.9)
-		mstats.WaitRatioP10, mstats.WaitRatioP50, mstats.WaitRatioP90 = qs[0], qs[1], qs[2]
-	}
-	return res
-}
 
 // decayFactor returns the exponential usage decay over dt seconds with
 // a half-life of usageDecayHours.

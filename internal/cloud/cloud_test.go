@@ -376,6 +376,90 @@ func TestLittlesLawHolds(t *testing.T) {
 	}
 }
 
+func TestWithDefaultsErrorRate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want float64
+	}{
+		{"zero means default", Config{}, 0.035},
+		{"explicit rate kept", Config{ErrorRate: 0.2}, 0.2},
+		{"NoErrors disables", Config{NoErrors: true}, 0},
+		{"NoErrors wins over a rate", Config{NoErrors: true, ErrorRate: 0.5}, 0},
+	}
+	for _, c := range cases {
+		if got := c.cfg.withDefaults().ErrorRate; got != c.want {
+			t.Errorf("%s: ErrorRate = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// downtimeSim builds a bare machineSim carrying only the downtime
+// cursor state afterDowntime needs.
+func downtimeSim(windows [][2]float64, endSec float64) *machineSim {
+	return &machineSim{downtimes: windows, endSec: endSec}
+}
+
+func TestGenDowntimesClippedAtEnd(t *testing.T) {
+	// Scan seeds for a window whose sampled duration overruns the end
+	// of the simulation: its clipped end must land exactly on endSec.
+	const endSec = 40 * 86400
+	clipped := false
+	for seed := int64(0); seed < 200 && !clipped; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		wins := genDowntimes(r, 0, endSec)
+		for _, w := range wins {
+			if w[1] > endSec {
+				t.Fatalf("seed %d: downtime %v extends past endSec", seed, w)
+			}
+			if w[1] == endSec {
+				clipped = true
+			}
+		}
+	}
+	if !clipped {
+		t.Fatal("no seed produced an end-clipped downtime; clipping untested")
+	}
+}
+
+func TestAfterDowntimeBoundaries(t *testing.T) {
+	wins := [][2]float64{{100, 200}, {400, 500}}
+	ms := downtimeSim(wins, 1e9)
+	// A start landing exactly on a window's opening boundary is
+	// displaced to its end.
+	if got := ms.afterDowntime(100); got != 200 {
+		t.Fatalf("start at window open: got %v, want 200", got)
+	}
+	// A start landing exactly on a window's closing boundary is not
+	// displaced: the machine is back up.
+	if got := ms.afterDowntime(200); got != 200 {
+		t.Fatalf("start at window close: got %v, want 200 (no displacement)", got)
+	}
+	// Starts strictly inside a later window displace to its end; the
+	// moving cursor must have skipped the earlier window.
+	if got := ms.afterDowntime(450); got != 500 {
+		t.Fatalf("start inside second window: got %v, want 500", got)
+	}
+	// Monotone starts clear of any window pass through untouched.
+	if got := ms.afterDowntime(600); got != 600 {
+		t.Fatalf("start after all windows: got %v, want 600", got)
+	}
+}
+
+func TestAfterDowntimeBackToBackDisplacesTwice(t *testing.T) {
+	// Two abutting windows: a start in the first must hop over both,
+	// not land on the shared boundary inside the second outage.
+	ms := downtimeSim([][2]float64{{100, 200}, {200, 300}}, 1e9)
+	if got := ms.afterDowntime(150); got != 300 {
+		t.Fatalf("back-to-back downtime: got %v, want 300 (double displacement)", got)
+	}
+	// Three in a row for good measure.
+	ms = downtimeSim([][2]float64{{10, 20}, {20, 30}, {30, 45}}, 1e9)
+	if got := ms.afterDowntime(12); got != 45 {
+		t.Fatalf("triple back-to-back downtime: got %v, want 45", got)
+	}
+}
+
 func TestDowntimesDeterministicAndBounded(t *testing.T) {
 	r1 := rand.New(rand.NewSource(5))
 	r2 := rand.New(rand.NewSource(5))

@@ -1,0 +1,590 @@
+package cloud
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"qcloud/internal/backend"
+	"qcloud/internal/stats"
+	"qcloud/internal/trace"
+)
+
+// machineSim is one machine's single-server fair-share queue as an
+// explicit, steppable state machine: the queue heap, background
+// arrival stream, downtime cursor, fair-share accounting, and pending
+// study submissions that the old run-to-completion loop kept in
+// closures. advanceTo moves it forward event by event, which is what
+// lets a Session accept submissions and serve queue snapshots mid-run
+// while staying bit-identical to the batch simulation.
+//
+// Determinism contract: every action advanceTo(t) takes has effects
+// strictly before t, and no arrival at or after t is consumed. A spec
+// submitted with SubmitTime >= the frontier therefore lands in exactly
+// the position — and consumes RNG draws in exactly the order — it
+// would have occupied had it been present from the start.
+type machineSim struct {
+	cfg    Config
+	m      *backend.Machine
+	sess   *Session
+	r      *rand.Rand
+	mstats *trace.MachineStats
+	jobs   []*trace.Job
+
+	simStart time.Time
+	online   time.Time
+	dead     bool // never online within the window: records nothing
+	endSec   float64
+
+	bg        *backgroundStream
+	downtimes [][2]float64
+	dtIdx     int
+
+	// Fair-share usage accounting, exponentially decayed.
+	usage     map[string]*float64
+	lastDecay map[string]float64
+
+	queue      jobHeap
+	seq        int64
+	waitRatios []float64
+
+	// specs holds not-yet-admitted study submissions sorted by
+	// SubmitTime (ties keep submission order); specIdx is the admitted
+	// prefix.
+	specs   []*JobSpec
+	specIdx int
+
+	sampleEvery float64
+	nextSample  float64
+
+	busyUntil float64
+
+	// frontier is the sup of consumed arrival times; when
+	// frontierInclusive, arrivals at exactly frontier are consumed too.
+	// Submissions behind the frontier are rejected: the machine's
+	// history up to it is already committed.
+	frontier          float64
+	frontierInclusive bool
+
+	// A started job whose completion horizon has not been fully
+	// admitted yet: the in-flight half of the legacy loop's busy step.
+	inStep             bool
+	stepEndsAt         float64
+	admittedDuringStep int
+
+	finished bool
+
+	handles     map[*JobSpec]*JobHandle
+	cancelledAt map[*JobSpec]float64
+	recorded    map[*JobSpec]bool
+}
+
+func newMachineSim(cfg Config, m *backend.Machine, sess *Session) *machineSim {
+	ms := &machineSim{
+		cfg:         cfg,
+		m:           m,
+		sess:        sess,
+		r:           rand.New(rand.NewSource(cfg.Seed*7919 + m.Seed)),
+		mstats:      &trace.MachineStats{Name: m.Name, Qubits: m.NumQubits(), Public: m.Public},
+		simStart:    cfg.Start,
+		usage:       make(map[string]*float64),
+		lastDecay:   make(map[string]float64),
+		handles:     make(map[*JobSpec]*JobHandle),
+		cancelledAt: make(map[*JobSpec]float64),
+		recorded:    make(map[*JobSpec]bool),
+		frontier:    math.Inf(-1),
+	}
+	online := m.Online
+	if online.Before(cfg.Start) {
+		online = cfg.Start
+	}
+	offline := cfg.End
+	if !m.Retired.IsZero() && m.Retired.Before(offline) {
+		offline = m.Retired
+	}
+	ms.online = online
+	if !online.Before(offline) {
+		ms.dead = true
+		ms.finished = true
+		return ms
+	}
+	ms.bg = newBackgroundStream(cfg.Background, m, ms.r,
+		ms.toSec(online), ms.toSec(offline),
+		ms.toSec(m.Online), ms.toSec(backend.StudyEnd))
+	ms.downtimes = genDowntimes(ms.r, ms.toSec(online), ms.toSec(offline))
+	ms.endSec = ms.toSec(offline)
+	ms.sampleEvery = cfg.PendingSampleEvery.Seconds()
+	ms.nextSample = ms.toSec(online) + ms.sampleEvery
+	ms.busyUntil = ms.toSec(online)
+	return ms
+}
+
+func (ms *machineSim) toSec(t time.Time) float64 { return t.Sub(ms.simStart).Seconds() }
+func (ms *machineSim) toTime(s float64) time.Time {
+	return ms.simStart.Add(time.Duration(s * float64(time.Second)))
+}
+
+// submit inserts a study spec into the pending stream. It fails when
+// the spec's submit instant lies behind the frontier: that history has
+// already been observed (and its RNG draws consumed), so admitting the
+// job late would fork the trace.
+func (ms *machineSim) submit(spec *JobSpec) (*JobHandle, error) {
+	sec := ms.toSec(spec.SubmitTime)
+	if !ms.dead && (sec < ms.frontier || (sec == ms.frontier && ms.frontierInclusive)) {
+		return nil, fmt.Errorf("cloud: submit to %s at %s is behind the machine frontier %s",
+			ms.m.Name, spec.SubmitTime.Format(time.RFC3339), ms.toTime(ms.frontier).Format(time.RFC3339))
+	}
+	// Insert keeping SubmitTime order; equal times go after existing
+	// entries, so replaying the same arrival order reproduces the trace.
+	rest := ms.specs[ms.specIdx:]
+	i := ms.specIdx + sort.Search(len(rest), func(k int) bool {
+		return rest[k].SubmitTime.After(spec.SubmitTime)
+	})
+	ms.specs = append(ms.specs, nil)
+	copy(ms.specs[i+1:], ms.specs[i:])
+	ms.specs[i] = spec
+	h := &JobHandle{spec: spec, machine: ms.m.Name, sess: ms.sess}
+	ms.handles[spec] = h
+	return h, nil
+}
+
+// cancel withdraws a study job that has not finished. Jobs still
+// waiting (admitted or not) are recorded as CANCELLED at the cancel
+// instant; jobs already recorded report an error.
+func (ms *machineSim) cancel(spec *JobSpec, atSec float64) error {
+	if ms.dead {
+		return nil // never-online machines record nothing
+	}
+	if ms.recorded[spec] {
+		return fmt.Errorf("cloud: job on %s already finished", ms.m.Name)
+	}
+	if _, ok := ms.cancelledAt[spec]; ok {
+		return fmt.Errorf("cloud: job on %s already cancelled", ms.m.Name)
+	}
+	for i := ms.specIdx; i < len(ms.specs); i++ {
+		if ms.specs[i] == spec {
+			// Not yet admitted: drop it from the pending stream and
+			// record the cancellation immediately.
+			ms.specs = append(ms.specs[:i], ms.specs[i+1:]...)
+			at := ms.toTime(atSec)
+			if at.Before(spec.SubmitTime) {
+				at = spec.SubmitTime
+			}
+			ms.recordSpecCancelled(spec, at)
+			return nil
+		}
+	}
+	// Admitted and waiting in the queue: mark it; the record lands when
+	// the server reaches it (the same path patience cancellations take).
+	ms.cancelledAt[spec] = atSec
+	return nil
+}
+
+// chargedUsage returns the user's decayed fair-share usage accumulator.
+func (ms *machineSim) chargedUsage(user string, now float64) *float64 {
+	u, ok := ms.usage[user]
+	if !ok {
+		v := 0.0
+		u = &v
+		ms.usage[user] = u
+		ms.lastDecay[user] = now
+	} else {
+		dt := now - ms.lastDecay[user]
+		if dt > 0 {
+			*u *= decayFactor(dt)
+			ms.lastDecay[user] = now
+		}
+	}
+	return u
+}
+
+func (ms *machineSim) enqueue(spec *JobSpec, submit, execSec, patience float64, user string) {
+	u := ms.chargedUsage(user, submit)
+	ms.seq++
+	q := &queuedJob{
+		spec: spec, submit: submit, execSec: execSec, patience: patience,
+		priority: submit + fairSharePenalty*(*u), seq: ms.seq, userUsage: u,
+		pendingAtSubmit: len(ms.queue),
+	}
+	ms.queue.push(q)
+	if ms.inStep {
+		ms.admittedDuringStep++
+	}
+	if ms.observed() {
+		ms.emit(Event{
+			Kind: EventEnqueue, Machine: ms.m.Name, Time: ms.toTime(submit),
+			Background: spec == nil, Pending: len(ms.queue), Handle: ms.handles[spec],
+		})
+	}
+}
+
+func (ms *machineSim) nextSpecTime() (float64, bool) {
+	if ms.specIdx >= len(ms.specs) {
+		return 0, false
+	}
+	s := ms.specs[ms.specIdx]
+	if s.SubmitTime.Before(ms.online) {
+		// Submitted before machine online: queue at online time.
+		return ms.toSec(ms.online), true
+	}
+	return ms.toSec(s.SubmitTime), true
+}
+
+// admitArrivals pulls every arrival (study + background) with submit
+// time <= horizon — or strictly < horizon when strict, the partial
+// admission an in-flight step uses so arrivals at the observation
+// instant itself stay unconsumed — into the queue.
+func (ms *machineSim) admitArrivals(horizon float64, strict bool) {
+	for {
+		bgT, bgOK := ms.bg.peek()
+		spT, spOK := ms.nextSpecTime()
+		if strict {
+			bgOK = bgOK && bgT < horizon
+			spOK = spOK && spT < horizon
+		} else {
+			bgOK = bgOK && bgT <= horizon
+			spOK = spOK && spT <= horizon
+		}
+		switch {
+		case bgOK && (!spOK || bgT <= spT):
+			ms.bg.next()
+			execSec := ms.bg.sampleExecSeconds(ms.r)
+			user := fmt.Sprintf("bg-%d", ms.r.Intn(ms.cfg.Background.Users))
+			ms.enqueue(nil, bgT, execSec, ms.bg.samplePatience(ms.r), user)
+			ms.mstats.BackgroundJobs++
+		case spOK:
+			s := ms.specs[ms.specIdx]
+			ms.specIdx++
+			execSec := ms.m.ExecSeconds(s.BatchSize, s.Shots, s.TotalDepth) * (0.9 + 0.2*ms.r.Float64())
+			ms.enqueue(s, spT, execSec, s.PatienceSec, s.User)
+		default:
+			return
+		}
+	}
+}
+
+// samplePending emits queue-length samples up to now. pending is
+// passed explicitly because an in-flight step's deferred sampling must
+// report the queue length before that step's admissions, matching the
+// batch loop's sample-then-admit call order.
+func (ms *machineSim) samplePending(now float64, pending int) {
+	for ms.nextSample <= now && ms.nextSample <= ms.endSec {
+		s := trace.PendingSample{Machine: ms.m.Name, Time: ms.toTime(ms.nextSample), Pending: pending}
+		ms.mstats.PendingSamples = append(ms.mstats.PendingSamples, s)
+		if ms.observed() {
+			ms.emit(Event{Kind: EventPendingSample, Machine: ms.m.Name, Time: s.Time, Pending: pending})
+		}
+		ms.nextSample += ms.sampleEvery
+	}
+}
+
+// afterDowntime displaces a start time past any maintenance windows it
+// lands in. Start times are monotone (the server is serial), so a
+// moving index applies the displacement in O(1) amortized. Back-to-back
+// windows displace a start repeatedly until it lands in uptime.
+func (ms *machineSim) afterDowntime(t float64) float64 {
+	for ms.dtIdx < len(ms.downtimes) && t >= ms.downtimes[ms.dtIdx][1] {
+		ms.dtIdx++
+	}
+	for ms.dtIdx < len(ms.downtimes) && t >= ms.downtimes[ms.dtIdx][0] {
+		win := ms.downtimes[ms.dtIdx]
+		t = win[1]
+		ms.dtIdx++
+		if ms.observed() {
+			ms.emit(Event{
+				Kind: EventDowntime, Machine: ms.m.Name, Time: ms.toTime(win[0]),
+				Downtime: [2]time.Time{ms.toTime(win[0]), ms.toTime(win[1])},
+			})
+		}
+	}
+	return t
+}
+
+// record appends the spec's trace record and emits its terminal event.
+func (ms *machineSim) record(s *JobSpec, startT, endT time.Time, status trace.Status) {
+	j := &trace.Job{
+		User: s.User, Machine: ms.m.Name,
+		MachineQubits: ms.m.NumQubits(), Public: ms.m.Public,
+		CircuitName: s.CircuitName, BatchSize: s.BatchSize, Shots: s.Shots,
+		Width: s.Width, TotalDepth: s.TotalDepth, TotalGateOps: s.TotalGateOps,
+		CXTotal: s.CXTotal, MemSlots: s.MemSlots,
+		SubmitTime: s.SubmitTime, StartTime: startT, EndTime: endT,
+		Status:       status,
+		CompileEpoch: ms.m.CalibrationEpochAt(s.SubmitTime),
+		ExecEpoch:    ms.m.CalibrationEpochAt(startT),
+	}
+	ms.jobs = append(ms.jobs, j)
+	ms.recorded[s] = true
+	if ms.observed() {
+		ms.emit(Event{
+			Kind: terminalKind(status), Machine: ms.m.Name, Time: endT,
+			Pending: len(ms.queue), Job: j, Handle: ms.handles[s],
+		})
+	}
+}
+
+func (ms *machineSim) recordStudy(q *queuedJob, start, end float64, status trace.Status) {
+	s := q.spec
+	startT, endT := ms.toTime(start), ms.toTime(end)
+	// Float-second round-tripping can land a nanosecond before the
+	// submission instant; clamp to keep records consistent.
+	if startT.Before(s.SubmitTime) {
+		startT = s.SubmitTime
+	}
+	if endT.Before(startT) {
+		endT = startT
+	}
+	ms.record(s, startT, endT, status)
+}
+
+// recordSpecCancelled records a cancellation for a spec that never
+// entered the queue (explicit Cancel before admission, or the window
+// closing with the spec still pending).
+func (ms *machineSim) recordSpecCancelled(s *JobSpec, at time.Time) {
+	ms.record(s, at, at, trace.StatusCancelled)
+}
+
+// startNext pops the highest-priority queued job and serves it: the
+// first half of the legacy loop's busy step. Completing jobs open an
+// in-flight step whose admissions run up to the completion horizon.
+func (ms *machineSim) startNext() {
+	q := ms.queue.pop()
+	if q.spec != nil {
+		if cancelAt, ok := ms.cancelledAt[q.spec]; ok {
+			ms.recordStudy(q, cancelAt, cancelAt, trace.StatusCancelled)
+			return
+		}
+	}
+	start := ms.busyUntil
+	if start < q.submit {
+		start = q.submit
+	}
+	start = ms.afterDowntime(start)
+	if start >= ms.endSec {
+		// Machine retires/window closes with jobs still queued: study
+		// jobs get cancelled at the boundary.
+		if q.spec != nil {
+			ms.recordStudy(q, ms.endSec, ms.endSec, trace.StatusCancelled)
+		} else if ms.observed() {
+			ms.emit(Event{
+				Kind: EventCancel, Machine: ms.m.Name, Time: ms.toTime(ms.endSec),
+				Background: true, Pending: len(ms.queue),
+			})
+		}
+		return
+	}
+	if q.patience > 0 && start > q.submit+q.patience {
+		// User gave up while waiting.
+		cancelAt := q.submit + q.patience
+		if q.spec != nil {
+			ms.recordStudy(q, cancelAt, cancelAt, trace.StatusCancelled)
+		} else if ms.observed() {
+			ms.emit(Event{
+				Kind: EventCancel, Machine: ms.m.Name, Time: ms.toTime(cancelAt),
+				Background: true, Pending: len(ms.queue),
+			})
+		}
+		return
+	}
+	// Wait-prediction calibration sample (subsampled; background jobs
+	// only, with a non-empty queue at submission).
+	if q.spec == nil && q.pendingAtSubmit > 0 && q.seq%13 == 0 {
+		ratio := (start - q.submit) / (float64(q.pendingAtSubmit) * ms.bg.meanExec)
+		ms.waitRatios = append(ms.waitRatios, ratio)
+	}
+	status := trace.StatusDone
+	execSec := q.execSec
+	if ms.r.Float64() < ms.cfg.ErrorRate {
+		status = trace.StatusError
+		execSec *= 0.5 // errored jobs die partway through
+	}
+	end := start + execSec
+	if ms.observed() {
+		ms.emit(Event{
+			Kind: EventStart, Machine: ms.m.Name, Time: ms.toTime(start),
+			Background: q.spec == nil, Pending: len(ms.queue), Handle: ms.handles[q.spec],
+		})
+	}
+	if q.spec != nil {
+		ms.recordStudy(q, start, end, status)
+	} else if ms.observed() {
+		ms.emit(Event{
+			Kind: terminalKind(status), Machine: ms.m.Name, Time: ms.toTime(end),
+			Background: true, Pending: len(ms.queue),
+		})
+	}
+	// Charge fair-share usage at completion.
+	*q.userUsage += execSec
+	ms.busyUntil = end
+	ms.inStep = true
+	ms.stepEndsAt = end
+	ms.admittedDuringStep = 0
+}
+
+func (ms *machineSim) setFrontier(f float64, inclusive bool) {
+	if f > ms.frontier {
+		ms.frontier, ms.frontierInclusive = f, inclusive
+	} else if f == ms.frontier && inclusive {
+		ms.frontierInclusive = true
+	}
+}
+
+// advanceTo processes every machine action whose effects lie strictly
+// before sim-second t: it finishes in-flight steps ending before t,
+// starts queued jobs, jumps idle gaps to arrivals before t, and admits
+// arrivals below t. Arrivals at or after t are never consumed, so a
+// subsequent submit at t replays exactly. t = +Inf runs to the end of
+// the window (the batch path).
+func (ms *machineSim) advanceTo(t float64) {
+	if ms.dead {
+		return
+	}
+	for {
+		if ms.inStep {
+			if ms.stepEndsAt < t {
+				// Complete the step: admit everything up to its
+				// horizon, then emit the deferred queue samples with
+				// the pre-admission length (the batch loop samples
+				// before admitting).
+				ms.admitArrivals(ms.stepEndsAt, false)
+				ms.samplePending(ms.stepEndsAt, len(ms.queue)-ms.admittedDuringStep)
+				ms.setFrontier(ms.stepEndsAt, true)
+				ms.inStep = false
+				continue
+			}
+			ms.admitArrivals(t, true)
+			ms.setFrontier(t, false)
+			return
+		}
+		if len(ms.queue) > 0 {
+			ms.startNext()
+			continue
+		}
+		// Idle: jump to the next arrival.
+		bgT, bgOK := ms.bg.peek()
+		spT, spOK := ms.nextSpecTime()
+		if !bgOK && !spOK {
+			ms.setFrontier(t, false)
+			if math.IsInf(t, 1) {
+				ms.finished = true
+			}
+			return
+		}
+		next := spT
+		if bgOK && (!spOK || bgT <= spT) {
+			next = bgT
+		}
+		if next >= ms.endSec {
+			// Nothing more can start inside the window; remaining
+			// specs become boundary cancellations at finalize.
+			ms.setFrontier(t, false)
+			if math.IsInf(t, 1) {
+				ms.finished = true
+			}
+			return
+		}
+		if next >= t {
+			ms.setFrontier(t, false)
+			return
+		}
+		ms.samplePending(next, len(ms.queue))
+		ms.admitArrivals(next, false)
+		ms.setFrontier(next, true)
+		if ms.busyUntil < next {
+			ms.busyUntil = next
+		}
+	}
+}
+
+// finalize runs the machine to the end of the window, records
+// boundary cancellations for specs that were never admitted, and
+// computes the wait-ratio calibration quantiles.
+func (ms *machineSim) finalize() {
+	if ms.dead {
+		return
+	}
+	ms.advanceTo(math.Inf(1))
+	// Study jobs submitted after the machine went offline (or never
+	// admitted before the loop ended) are recorded as cancelled.
+	for ; ms.specIdx < len(ms.specs); ms.specIdx++ {
+		s := ms.specs[ms.specIdx]
+		at := s.SubmitTime
+		if at.Before(ms.online) {
+			at = ms.online
+		}
+		ms.recordSpecCancelled(s, at)
+	}
+	if len(ms.waitRatios) >= 30 {
+		sorted := stats.SortedCopy(ms.waitRatios)
+		qs := stats.QuantilesSorted(sorted, 0.1, 0.5, 0.9)
+		ms.mstats.WaitRatioP10, ms.mstats.WaitRatioP50, ms.mstats.WaitRatioP90 = qs[0], qs[1], qs[2]
+	}
+}
+
+// snapshot reports the live queue state at the machine's frontier.
+func (ms *machineSim) snapshot() QueueSnapshot {
+	snap := QueueSnapshot{Machine: ms.m.Name}
+	if ms.dead {
+		return snap
+	}
+	f := ms.frontier
+	if math.IsInf(f, -1) {
+		f = ms.toSec(ms.cfg.Start)
+	}
+	if math.IsInf(f, 1) || f > ms.endSec {
+		f = ms.endSec
+	}
+	snap.Time = ms.toTime(f)
+	for _, q := range ms.queue {
+		if q.spec != nil {
+			if _, withdrawn := ms.cancelledAt[q.spec]; withdrawn {
+				// Cancelled while queued: the server discards it on
+				// arrival, so it is not load a scheduler should see.
+				continue
+			}
+			snap.PendingStudy++
+		}
+		snap.Pending++
+		snap.BacklogSeconds += q.execSec
+	}
+	if ms.busyUntil > f {
+		snap.RunningUntil = ms.toTime(ms.busyUntil)
+	}
+	// Maintenance windows the backlog must ride out: walk the calendar
+	// from the cursor, pushing the projected completion across every
+	// window it overlaps (a window in progress counts its remainder).
+	c := f + snap.BacklogSeconds
+	if ms.busyUntil > f {
+		c += ms.busyUntil - f
+	}
+	for _, w := range ms.downtimes[ms.dtIdx:] {
+		if w[1] <= f {
+			continue
+		}
+		if w[0] >= c {
+			break
+		}
+		dur := w[1] - math.Max(w[0], f)
+		snap.DowntimeSeconds += dur
+		c += dur
+	}
+	snap.MeanExecSeconds = ms.bg.meanExec
+	return snap
+}
+
+func (ms *machineSim) observed() bool { return ms.sess != nil && ms.sess.hasObs.Load() }
+
+func (ms *machineSim) emit(ev Event) { ms.sess.dispatch(ev) }
+
+func terminalKind(status trace.Status) EventKind {
+	switch status {
+	case trace.StatusError:
+		return EventError
+	case trace.StatusCancelled:
+		return EventCancel
+	default:
+		return EventDone
+	}
+}

@@ -1,0 +1,386 @@
+package cloud
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qcloud/internal/par"
+	"qcloud/internal/trace"
+)
+
+// EventKind classifies session events.
+type EventKind string
+
+// Session event kinds.
+const (
+	// EventEnqueue fires when a job (study or background) enters a
+	// machine queue.
+	EventEnqueue EventKind = "enqueue"
+	// EventStart fires when the server begins executing a job.
+	EventStart EventKind = "start"
+	// EventDone / EventError / EventCancel are terminal job states,
+	// mirroring trace.Status.
+	EventDone   EventKind = "done"
+	EventError  EventKind = "error"
+	EventCancel EventKind = "cancel"
+	// EventDowntime fires when a maintenance window displaces a start.
+	EventDowntime EventKind = "downtime"
+	// EventPendingSample fires at each queue-length sampling point.
+	EventPendingSample EventKind = "pending-sample"
+)
+
+// Event is one observation from the simulated cloud's lifecycle stream.
+type Event struct {
+	Kind    EventKind
+	Machine string
+	// Time is the simulated instant of the event.
+	Time time.Time
+	// Background marks events of the modeled non-study population.
+	Background bool
+	// Pending is the queue length after the event (for enqueue/start/
+	// terminal events) or the sampled value (for pending-sample).
+	Pending int
+	// Job is the trace record for terminal study-job events.
+	Job *trace.Job
+	// Handle identifies the study job for enqueue/start/terminal
+	// events (nil for background jobs).
+	Handle *JobHandle
+	// Downtime is the maintenance window for downtime events.
+	Downtime [2]time.Time
+}
+
+// EventFilter selects which events an observer receives. Zero-value
+// fields mean "everything".
+type EventFilter struct {
+	// Machines restricts to the named backends (nil = all).
+	Machines []string
+	// Kinds restricts to the listed kinds (nil = all).
+	Kinds []EventKind
+	// StudyOnly drops background-population events.
+	StudyOnly bool
+}
+
+// JobHandle identifies a study job submitted to a session; it is the
+// token Cancel takes and the correlation key events carry.
+type JobHandle struct {
+	spec    *JobSpec
+	machine string
+	sess    *Session
+}
+
+// Spec returns the submitted job spec.
+func (h *JobHandle) Spec() *JobSpec { return h.spec }
+
+// Machine returns the backend the job was submitted to.
+func (h *JobHandle) Machine() string { return h.machine }
+
+// QueueSnapshot is a live view of one machine's queue at its frontier
+// — the information a vendor-side scheduler can act on at a job's
+// submit instant (the paper's §IV-D machine-aware management and
+// §V-E queue-time prediction).
+type QueueSnapshot struct {
+	Machine string
+	// Time is the machine's frontier: every arrival before it has
+	// been observed.
+	Time time.Time
+	// Pending counts queued (not yet started) jobs; PendingStudy is
+	// the study-job subset.
+	Pending      int
+	PendingStudy int
+	// RunningUntil is when the in-flight job finishes (zero when the
+	// server is idle at the frontier).
+	RunningUntil time.Time
+	// BacklogSeconds sums the service times of the queued jobs — the
+	// vendor-side runtime-prediction view of the queue's depth.
+	BacklogSeconds float64
+	// DowntimeSeconds is scheduled maintenance the queue must ride out
+	// before the backlog clears (including a window in progress at the
+	// frontier). Vendors know their own maintenance calendar, so this
+	// is legitimately visible to a placement policy.
+	DowntimeSeconds float64
+	// MeanExecSeconds is the machine's mean background service time.
+	MeanExecSeconds float64
+}
+
+// EstimatedWaitSeconds predicts the queue wait a job submitted at the
+// snapshot instant would see: the in-flight job's remaining service,
+// the queued backlog, and any maintenance windows in the way.
+func (q QueueSnapshot) EstimatedWaitSeconds() float64 {
+	w := q.BacklogSeconds + q.DowntimeSeconds
+	if q.RunningUntil.After(q.Time) {
+		w += q.RunningUntil.Sub(q.Time).Seconds()
+	}
+	return w
+}
+
+// Session is an open, steppable cloud simulation: jobs can be
+// submitted while it runs, queues observed at their live frontier, and
+// lifecycle events streamed. The batch Simulate call is a thin wrapper
+// (open, submit everything, run) and produces bit-identical traces.
+//
+// A Session is driven from one goroutine: Submit/Cancel/AdvanceTo/
+// QueueState/Run must not be called concurrently with each other.
+// Event channels returned by Observe deliver asynchronously and may be
+// consumed from any goroutine.
+type Session struct {
+	cfg    Config
+	sims   []*machineSim
+	byName map[string]*machineSim
+
+	obsMu     sync.Mutex
+	observers []*observer
+	hasObs    atomic.Bool
+	closed    bool
+}
+
+// Open initializes a session over the configured window: one machine
+// state machine per fleet member, constructed in parallel under the
+// config's worker budget.
+func Open(cfg Config) (*Session, error) {
+	c := cfg.withDefaults()
+	s := &Session{cfg: c, byName: make(map[string]*machineSim)}
+	s.sims = make([]*machineSim, len(c.Machines))
+	par.ForEach(len(c.Machines), c.Workers, func(i int) {
+		s.sims[i] = newMachineSim(c, c.Machines[i], s)
+	})
+	for _, ms := range s.sims {
+		s.byName[ms.m.Name] = ms
+	}
+	return s, nil
+}
+
+// Submit enters a study job into its machine's arrival stream. It is
+// valid mid-run: the job may be submitted any time before the session
+// has advanced past its submit instant, and the resulting trace is
+// identical to one where the job was present from the start.
+func (s *Session) Submit(spec *JobSpec) (*JobHandle, error) {
+	if s.closed {
+		return nil, errSessionClosed
+	}
+	ms := s.byName[spec.Machine]
+	if ms == nil {
+		return nil, fmt.Errorf("cloud: study job targets unknown machine %q", spec.Machine)
+	}
+	return ms.submit(spec)
+}
+
+// Cancel withdraws a submitted job that has not finished; it is
+// recorded as CANCELLED at the machine's current frontier (or its
+// submit instant, if that is later).
+func (s *Session) Cancel(h *JobHandle) error {
+	if s.closed {
+		return errSessionClosed
+	}
+	if h == nil || h.sess != s {
+		return fmt.Errorf("cloud: handle does not belong to this session")
+	}
+	ms := s.byName[h.machine]
+	at := ms.frontier
+	if sub := ms.toSec(h.spec.SubmitTime); at < sub || math.IsInf(at, -1) {
+		at = sub
+	}
+	return ms.cancel(h.spec, at)
+}
+
+// AdvanceTo moves every machine's frontier to t, processing all
+// arrivals, starts, completions, downtimes and queue samples strictly
+// before it. Machines advance in parallel under the config's worker
+// budget; each is an independent event loop, so the result does not
+// depend on the worker count.
+func (s *Session) AdvanceTo(t time.Time) {
+	if s.closed {
+		return
+	}
+	par.ForEach(len(s.sims), s.cfg.Workers, func(i int) {
+		ms := s.sims[i]
+		ms.advanceTo(ms.toSec(t))
+	})
+}
+
+// QueueState returns the live queue snapshot of one machine at its
+// current frontier.
+func (s *Session) QueueState(machine string) (QueueSnapshot, error) {
+	ms := s.byName[machine]
+	if ms == nil {
+		return QueueSnapshot{}, fmt.Errorf("cloud: unknown machine %q", machine)
+	}
+	return ms.snapshot(), nil
+}
+
+// Observe subscribes to the session's event stream. The returned
+// channel delivers events matching the filter without ever blocking
+// the simulation (delivery is buffered and pumped asynchronously) and
+// closes once the session ends and the backlog has drained.
+func (s *Session) Observe(f EventFilter) <-chan Event {
+	o := newObserver(f)
+	s.obsMu.Lock()
+	closed := s.closed
+	if !closed {
+		s.observers = append(s.observers, o)
+	}
+	s.obsMu.Unlock()
+	if closed {
+		o.finish()
+	} else {
+		s.hasObs.Store(true)
+	}
+	go o.pump()
+	return o.ch
+}
+
+// Run advances every machine to the end of the window, assembles the
+// trace exactly as the batch simulation does (job IDs in fleet order,
+// then submit-time order), and closes the session.
+func (s *Session) Run() (*trace.Trace, error) {
+	if s.closed {
+		return nil, errSessionClosed
+	}
+	par.ForEach(len(s.sims), s.cfg.Workers, func(i int) {
+		s.sims[i].finalize()
+	})
+	// Job IDs are assigned in (machine order, record order) — the
+	// exact sequence the serial batch loop produced — keeping traces
+	// bit-identical across worker counts.
+	out := &trace.Trace{}
+	var nextID int64
+	for _, ms := range s.sims {
+		for _, j := range ms.jobs {
+			nextID++
+			j.ID = nextID
+		}
+		out.Jobs = append(out.Jobs, ms.jobs...)
+		out.Machines = append(out.Machines, ms.mstats)
+	}
+	sort.Slice(out.Jobs, func(i, j int) bool {
+		if !out.Jobs[i].SubmitTime.Equal(out.Jobs[j].SubmitTime) {
+			return out.Jobs[i].SubmitTime.Before(out.Jobs[j].SubmitTime)
+		}
+		return out.Jobs[i].ID < out.Jobs[j].ID
+	})
+	s.Close()
+	return out, nil
+}
+
+// Close releases the session: further calls fail, and observer
+// channels close once their backlog drains. Closing a session that
+// already ran (Run closes implicitly) is a no-op.
+func (s *Session) Close() error {
+	s.obsMu.Lock()
+	if s.closed {
+		s.obsMu.Unlock()
+		return nil
+	}
+	s.closed = true
+	obs := s.observers
+	s.observers = nil
+	s.obsMu.Unlock()
+	for _, o := range obs {
+		o.finish()
+	}
+	return nil
+}
+
+// dispatch fans an event out to matching observers. Machines advance
+// in parallel, so this is the only cross-machine synchronization point
+// — and it is only reached when at least one observer is attached.
+func (s *Session) dispatch(ev Event) {
+	s.obsMu.Lock()
+	obs := s.observers
+	s.obsMu.Unlock()
+	for _, o := range obs {
+		if o.matches(ev) {
+			o.send(ev)
+		}
+	}
+}
+
+var errSessionClosed = fmt.Errorf("cloud: session is closed")
+
+// observer buffers matched events and pumps them to its channel from a
+// dedicated goroutine, so a slow (or absent) consumer can never stall
+// the simulation.
+type observer struct {
+	machines map[string]bool
+	kinds    map[EventKind]bool
+	study    bool
+	ch       chan Event
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	buf  []Event
+	done bool
+}
+
+func newObserver(f EventFilter) *observer {
+	o := &observer{study: f.StudyOnly, ch: make(chan Event, 64)}
+	if len(f.Machines) > 0 {
+		o.machines = make(map[string]bool, len(f.Machines))
+		for _, m := range f.Machines {
+			o.machines[m] = true
+		}
+	}
+	if len(f.Kinds) > 0 {
+		o.kinds = make(map[EventKind]bool, len(f.Kinds))
+		for _, k := range f.Kinds {
+			o.kinds[k] = true
+		}
+	}
+	o.cond = sync.NewCond(&o.mu)
+	return o
+}
+
+func (o *observer) matches(ev Event) bool {
+	if o.study && ev.Background {
+		return false
+	}
+	if o.machines != nil && !o.machines[ev.Machine] {
+		return false
+	}
+	if o.kinds != nil && !o.kinds[ev.Kind] {
+		return false
+	}
+	return true
+}
+
+func (o *observer) send(ev Event) {
+	o.mu.Lock()
+	o.buf = append(o.buf, ev)
+	o.mu.Unlock()
+	o.cond.Signal()
+}
+
+func (o *observer) finish() {
+	o.mu.Lock()
+	o.done = true
+	o.mu.Unlock()
+	o.cond.Signal()
+}
+
+func (o *observer) pump() {
+	for {
+		o.mu.Lock()
+		for len(o.buf) == 0 && !o.done {
+			o.cond.Wait()
+		}
+		batch := o.buf
+		o.buf = nil
+		done := o.done
+		o.mu.Unlock()
+		for _, ev := range batch {
+			o.ch <- ev
+		}
+		if done {
+			o.mu.Lock()
+			drained := len(o.buf) == 0
+			o.mu.Unlock()
+			if drained {
+				close(o.ch)
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"qcloud/internal/backend"
+	"qcloud/internal/cloud"
+	"qcloud/internal/trace"
+)
+
+// QueueView provides live queue snapshots at a decision instant — the
+// exact information a vendor-side scheduler sees when a job arrives,
+// in contrast to the Estimator's stale pre-simulated samples.
+// *cloud.Session satisfies it directly.
+type QueueView interface {
+	QueueState(machine string) (cloud.QueueSnapshot, error)
+}
+
+// OnlinePolicy picks a machine for a job from live queue state at the
+// job's submit instant. A nil return keeps the user's original choice.
+type OnlinePolicy interface {
+	Name() string
+	ChooseLive(spec *cloud.JobSpec, candidates []*backend.Machine, q QueueView, f *FleetInfo) *backend.Machine
+}
+
+// LiveUserChoice is the online baseline: whatever machine the user
+// picked, placed through the same session harness.
+type LiveUserChoice struct{}
+
+// Name implements OnlinePolicy.
+func (LiveUserChoice) Name() string { return "live-user-choice" }
+
+// ChooseLive implements OnlinePolicy.
+func (LiveUserChoice) ChooseLive(*cloud.JobSpec, []*backend.Machine, QueueView, *FleetInfo) *backend.Machine {
+	return nil
+}
+
+// LiveLeastPending routes to the machine whose queue is shortest right
+// now — the naive balancer, but acting on exact rather than sampled
+// pending counts.
+type LiveLeastPending struct{}
+
+// Name implements OnlinePolicy.
+func (LiveLeastPending) Name() string { return "live-least-pending" }
+
+// ChooseLive implements OnlinePolicy.
+func (LiveLeastPending) ChooseLive(spec *cloud.JobSpec, cands []*backend.Machine, q QueueView, f *FleetInfo) *backend.Machine {
+	var best *backend.Machine
+	bestP := 0
+	for _, m := range cands {
+		snap, err := q.QueueState(m.Name)
+		if err != nil {
+			continue
+		}
+		if best == nil || snap.Pending < bestP {
+			best, bestP = m, snap.Pending
+		}
+	}
+	return best
+}
+
+// LiveShortestWait routes to the machine with the smallest live wait
+// estimate: the in-flight job's remaining service plus the queued
+// backlog's predicted runtimes. This is what the paper's §IV-D
+// vendor-side management can compute but the offline estimator cannot:
+// the backlog's actual composition at the submit instant, not a
+// pending count sampled half an hour earlier times a fleet-wide mean.
+type LiveShortestWait struct{}
+
+// Name implements OnlinePolicy.
+func (LiveShortestWait) Name() string { return "live-shortest-wait" }
+
+// ChooseLive implements OnlinePolicy.
+func (LiveShortestWait) ChooseLive(spec *cloud.JobSpec, cands []*backend.Machine, q QueueView, f *FleetInfo) *backend.Machine {
+	var best *backend.Machine
+	bestW := math.Inf(1)
+	for _, m := range cands {
+		snap, err := q.QueueState(m.Name)
+		if err != nil {
+			continue
+		}
+		if w := snap.EstimatedWaitSeconds(); w < bestW {
+			best, bestW = m, w
+		}
+	}
+	return best
+}
+
+// LiveFidelityAware trades live waiting time against expected
+// fidelity: the §V-E.3 user-constrained trade-off, with the wait side
+// computed from the queue's actual backlog.
+type LiveFidelityAware struct {
+	// WaitPenaltyPerHour is the fidelity a user will sacrifice to
+	// start one hour sooner (default 0.02).
+	WaitPenaltyPerHour float64
+}
+
+// Name implements OnlinePolicy.
+func (LiveFidelityAware) Name() string { return "live-fidelity-aware" }
+
+// ChooseLive implements OnlinePolicy.
+func (p LiveFidelityAware) ChooseLive(spec *cloud.JobSpec, cands []*backend.Machine, q QueueView, f *FleetInfo) *backend.Machine {
+	penalty := p.WaitPenaltyPerHour
+	if penalty <= 0 {
+		penalty = 0.02
+	}
+	var best *backend.Machine
+	bestScore := math.Inf(-1)
+	for _, m := range cands {
+		snap, err := q.QueueState(m.Name)
+		if err != nil {
+			continue
+		}
+		fid := f.EstimatedFidelity(spec, m.Name, spec.SubmitTime)
+		score := fid - penalty*snap.EstimatedWaitSeconds()/3600
+		if score > bestScore {
+			best, bestScore = m, score
+		}
+	}
+	return best
+}
+
+// EvaluateOnline drives the workload through an open cloud session in
+// arrival order: for each job the session advances to the submit
+// instant, the policy reads live QueueState snapshots of the legal
+// candidates, and the (possibly re-targeted) job is submitted mid-run.
+// No pre-simulation or replay is involved — this is the genuinely
+// online counterpart of Evaluate's estimator-and-replay pipeline, and
+// the A/B baseline for it.
+func EvaluateOnline(cfg cloud.Config, specs []*cloud.JobSpec, policy OnlinePolicy, f *FleetInfo) (Summary, *trace.Trace, error) {
+	sess, err := cloud.Open(cfg)
+	if err != nil {
+		return Summary{}, nil, fmt.Errorf("sched: opening session: %w", err)
+	}
+	defer sess.Close()
+	ordered := make([]*cloud.JobSpec, len(specs))
+	copy(ordered, specs)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return ordered[i].SubmitTime.Before(ordered[j].SubmitTime)
+	})
+	placed := make([]*cloud.JobSpec, len(ordered))
+	for i, s := range ordered {
+		c := *s
+		sess.AdvanceTo(c.SubmitTime)
+		if m := policy.ChooseLive(&c, f.Candidates(&c), sess, f); m != nil {
+			c.Machine = m.Name
+		}
+		if _, err := sess.Submit(&c); err != nil {
+			return Summary{}, nil, fmt.Errorf("sched: online submit: %w", err)
+		}
+		placed[i] = &c
+	}
+	tr, err := sess.Run()
+	if err != nil {
+		return Summary{}, nil, err
+	}
+	return summarize(policy.Name(), placed, tr, f), tr, nil
+}

@@ -4,13 +4,14 @@
 // (with user-constraints) should be explored") together with the
 // queue-time prediction of §V-E.
 //
-// The Estimator is built from a background-only simulation of the
-// cloud: it exposes per-machine pending-queue time series and mean
-// service times, from which expected waits are predicted. Policies
-// re-target study jobs using only information a scheduler would have
-// at submission time (pending counts, calibration, predicted runtime);
-// Evaluate then replays the rewritten workload through the full cloud
-// simulator to measure what the policy actually achieved.
+// Two placement pipelines coexist as an A/B pair. The offline one
+// builds an Estimator from a background-only pre-simulation (stale
+// sampled pending counts and mean service times), rewrites the whole
+// workload, and replays it through the simulator. The online one
+// (online.go) opens a cloud.Session and decides each job at its
+// actual submit instant from live QueueState snapshots — the
+// vendor-side, machine-aware management the paper argues for, with no
+// pre-simulation at all.
 package sched
 
 import (
@@ -25,12 +26,48 @@ import (
 	"qcloud/internal/trace"
 )
 
+// FleetInfo is the static, no-simulation-needed machine knowledge
+// every placement policy shares — the fleet roster, calibration
+// access, and mean background service times. The offline Estimator
+// layers pre-simulated queue statistics on top of it; the online
+// session policies (online.go) combine it with live QueueState
+// snapshots instead.
+type FleetInfo struct {
+	machines map[string]*backend.Machine
+	meanExec map[string]float64
+}
+
+// NewFleetInfo indexes the config's fleet and background model.
+func NewFleetInfo(cfg cloud.Config) *FleetInfo {
+	machines := cfg.Machines
+	if machines == nil {
+		machines = backend.Fleet()
+	}
+	bg := cfg.Background
+	if bg == nil {
+		bg = cloud.DefaultBackground()
+	}
+	f := &FleetInfo{
+		machines: make(map[string]*backend.Machine, len(machines)),
+		meanExec: make(map[string]float64, len(machines)),
+	}
+	for _, m := range machines {
+		f.machines[m.Name] = m
+		f.meanExec[m.Name] = bg.MeanExecSeconds(m)
+	}
+	return f
+}
+
+// MeanExecSeconds returns the machine's mean background service time.
+func (f *FleetInfo) MeanExecSeconds(machine string) float64 { return f.meanExec[machine] }
+
 // Estimator predicts per-machine waiting times from observed queue
 // state — the §V-E.1 "research on predicting queuing times" primitive.
+// It extends FleetInfo with queue-length time series and wait-ratio
+// calibration from a background-only pre-simulation.
 type Estimator struct {
+	*FleetInfo
 	pending   map[string][]trace.PendingSample
-	meanExec  map[string]float64
-	machines  map[string]*backend.Machine
 	waitRatio map[string][3]float64 // empirical P10/P50/P90 of wait/(pending*mean)
 }
 
@@ -50,9 +87,8 @@ func BuildEstimator(cfg cloud.Config) (*Estimator, error) {
 		return nil, fmt.Errorf("sched: background simulation: %w", err)
 	}
 	e := &Estimator{
+		FleetInfo: NewFleetInfo(cfg),
 		pending:   make(map[string][]trace.PendingSample),
-		meanExec:  make(map[string]float64),
-		machines:  make(map[string]*backend.Machine),
 		waitRatio: make(map[string][3]float64),
 	}
 	for _, ms := range tr.Machines {
@@ -60,18 +96,6 @@ func BuildEstimator(cfg cloud.Config) (*Estimator, error) {
 		if ms.WaitRatioP90 > 0 {
 			e.waitRatio[ms.Name] = [3]float64{ms.WaitRatioP10, ms.WaitRatioP50, ms.WaitRatioP90}
 		}
-	}
-	machines := cfg.Machines
-	if machines == nil {
-		machines = backend.Fleet()
-	}
-	bg := cfg.Background
-	if bg == nil {
-		bg = cloud.DefaultBackground()
-	}
-	for _, m := range machines {
-		e.machines[m.Name] = m
-		e.meanExec[m.Name] = bg.MeanExecSeconds(m)
 	}
 	return e, nil
 }
@@ -107,8 +131,8 @@ func (e *Estimator) EstimatedWaitSeconds(machine string, t time.Time) float64 {
 // EstimatedFidelity scores the expected per-circuit success of a job on
 // a machine from its calibration: (1-meanCXerr)^(CX per circuit) — the
 // §IV-B compile-time CX metric used for machine selection.
-func (e *Estimator) EstimatedFidelity(spec *cloud.JobSpec, machine string, t time.Time) float64 {
-	m := e.machines[machine]
+func (f *FleetInfo) EstimatedFidelity(spec *cloud.JobSpec, machine string, t time.Time) float64 {
+	m := f.machines[machine]
 	if m == nil {
 		return 0
 	}
@@ -122,9 +146,9 @@ func (e *Estimator) EstimatedFidelity(spec *cloud.JobSpec, machine string, t tim
 
 // Candidates returns the machines the job may legally target at its
 // submit time: online, wide enough, and accessible to the user class.
-func (e *Estimator) Candidates(spec *cloud.JobSpec) []*backend.Machine {
+func (f *FleetInfo) Candidates(spec *cloud.JobSpec) []*backend.Machine {
 	var out []*backend.Machine
-	for _, m := range e.machines {
+	for _, m := range f.machines {
 		if !m.AvailableAt(spec.SubmitTime) || m.NumQubits() < spec.Width {
 			continue
 		}
@@ -263,6 +287,12 @@ func Evaluate(cfg cloud.Config, specs []*cloud.JobSpec, policy Policy, e *Estima
 	if err != nil {
 		return Summary{}, nil, err
 	}
+	return summarize(policy.Name(), placed, tr, e.FleetInfo), tr, nil
+}
+
+// summarize aggregates the realized queue/fidelity outcomes of a
+// placed workload's trace.
+func summarize(policy string, placed []*cloud.JobSpec, tr *trace.Trace, f *FleetInfo) Summary {
 	var queues []float64
 	fidSum := 0.0
 	cancelled := 0
@@ -277,11 +307,11 @@ func Evaluate(cfg cloud.Config, specs []*cloud.JobSpec, policy Policy, e *Estima
 		}
 		queues = append(queues, j.QueueSeconds()/60)
 		if s := byID[j.User+j.SubmitTime.String()]; s != nil {
-			fidSum += e.EstimatedFidelity(s, j.Machine, j.StartTime)
+			fidSum += f.EstimatedFidelity(s, j.Machine, j.StartTime)
 		}
 	}
 	s := Summary{
-		Policy:            policy.Name(),
+		Policy:            policy,
 		MedianQueueMin:    stats.Median(queues),
 		MeanQueueMin:      stats.Mean(queues),
 		P90QueueMin:       stats.Quantile(queues, 0.9),
@@ -291,7 +321,7 @@ func Evaluate(cfg cloud.Config, specs []*cloud.JobSpec, policy Policy, e *Estima
 	if n := len(queues); n > 0 {
 		s.MeanEstFidelity = fidSum / float64(n)
 	}
-	return s, tr, nil
+	return s
 }
 
 // WaitBounds is a wait prediction with quantitative confidence levels,

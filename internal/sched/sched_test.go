@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -196,6 +197,99 @@ func TestPolicyNames(t *testing.T) {
 		if p.Name() == "" {
 			t.Fatal("policy without a name")
 		}
+	}
+}
+
+// quietOnlineConfig silences the background population on a two-
+// machine private fleet so online-placement tests are deterministic.
+func quietOnlineConfig(seed int64) cloud.Config {
+	var sel []*backend.Machine
+	for _, m := range backend.Fleet() {
+		if m.Name == "ibmq_rome" || m.Name == "ibmq_bogota" {
+			sel = append(sel, m)
+		}
+	}
+	bg := cloud.DefaultBackground()
+	bg.PublicUtil, bg.PrivateUtil, bg.RampFloor = 0, 0, 0
+	return cloud.Config{
+		Seed:     seed,
+		Start:    time.Date(2021, 2, 1, 0, 0, 0, 0, time.UTC),
+		End:      time.Date(2021, 3, 1, 0, 0, 0, 0, time.UTC),
+		Machines: sel, Background: bg,
+	}
+}
+
+// TestLiveShortestWaitUsesQueueState pins the headline behavior of the
+// session-backed policies: a flood of heavy jobs aimed at one machine
+// is spread across the fleet because the policy reads the live queue
+// backlog at each submit instant, collapsing queue times relative to
+// the users' own targeting.
+func TestLiveShortestWaitUsesQueueState(t *testing.T) {
+	cfg := quietOnlineConfig(31)
+	// A week in: both machines are up (bogota opens this seed's window
+	// inside a multi-day maintenance outage, which the downtime-aware
+	// snapshots make the policy route around — leaving nothing to
+	// balance until the machine returns).
+	base := cfg.Start.Add(7 * 24 * time.Hour)
+	var specs []*cloud.JobSpec
+	for i := 0; i < 8; i++ {
+		specs = append(specs, &cloud.JobSpec{
+			SubmitTime: base.Add(time.Duration(i) * time.Minute),
+			User:       "hog", Machine: "ibmq_rome", Privileged: true,
+			BatchSize: 900, Shots: 8192, CircuitName: "flood",
+			Width: 4, TotalDepth: 9000,
+		})
+	}
+	for i := 0; i < 6; i++ {
+		specs = append(specs, &cloud.JobSpec{
+			SubmitTime: base.Add(10*time.Minute + time.Duration(i)*time.Minute),
+			User:       fmt.Sprintf("probe-%d", i), Machine: "ibmq_rome", Privileged: true,
+			BatchSize: 1, Shots: 1024, CircuitName: "tiny", Width: 2,
+		})
+	}
+	f := NewFleetInfo(cfg)
+	userChoice, _, err := EvaluateOnline(cfg, specs, LiveUserChoice{}, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	balanced, tr, err := EvaluateOnline(cfg, specs, LiveShortestWait{}, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perMachine := tr.JobsByMachine()
+	if len(perMachine["ibmq_rome"]) == 0 || len(perMachine["ibmq_bogota"]) == 0 {
+		t.Fatalf("live placement should spread the flood: rome=%d bogota=%d",
+			len(perMachine["ibmq_rome"]), len(perMachine["ibmq_bogota"]))
+	}
+	if balanced.MeanQueueMin >= userChoice.MeanQueueMin/2 {
+		t.Fatalf("live shortest-wait mean queue %v min should collapse vs user choice %v min",
+			balanced.MeanQueueMin, userChoice.MeanQueueMin)
+	}
+}
+
+// TestOnlinePlacementBeatsUserChoice is the §IV-D A/B on the realistic
+// workload: deciding each job from live QueueState at its submit
+// instant beats the users' machine heuristics, with no estimator
+// pre-simulation involved.
+func TestOnlinePlacementBeatsUserChoice(t *testing.T) {
+	cfg := schedConfig(12)
+	specs := schedWorkload(12)
+	f := NewFleetInfo(cfg)
+	base, _, err := EvaluateOnline(cfg, specs, LiveUserChoice{}, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, _, err := EvaluateOnline(cfg, specs, LiveShortestWait{}, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.MeanQueueMin >= base.MeanQueueMin {
+		t.Fatalf("live shortest-wait mean queue %v min should beat user choice %v min",
+			live.MeanQueueMin, base.MeanQueueMin)
+	}
+	if live.MedianQueueMin >= base.MedianQueueMin {
+		t.Fatalf("live shortest-wait median queue %v min should beat user choice %v min",
+			live.MedianQueueMin, base.MedianQueueMin)
 	}
 }
 
