@@ -66,7 +66,10 @@ type KernelSweepRow struct {
 
 // Report is the emitted BENCH_*.json document.
 type Report struct {
-	Label     string    `json:"label,omitempty"`
+	Label string `json:"label,omitempty"`
+	// Notes is free-form context for the recorded numbers (what changed
+	// since the baseline, what the run is meant to establish).
+	Notes     string    `json:"notes,omitempty"`
 	Date      string    `json:"date"`
 	GoVersion string    `json:"go_version"`
 	NumCPU    int       `json:"num_cpu"`
@@ -479,6 +482,7 @@ func main() {
 		outPath  = flag.String("out", "", "output JSON path (default BENCH_<date>.json)")
 		baseline = flag.String("baseline", "", "previous report to embed under \"baseline\" for comparison")
 		label    = flag.String("label", "", "free-form label recorded in the report (e.g. a PR number)")
+		notes    = flag.String("notes", "", "free-form notes recorded in the report (what the run establishes)")
 		md       = flag.Bool("md", false, "also print the results as a markdown table")
 	)
 	flag.Parse()
@@ -488,6 +492,7 @@ func main() {
 		log.Fatal(err)
 	}
 	rep.Label = *label
+	rep.Notes = *notes
 	if *baseline != "" {
 		data, err := os.ReadFile(*baseline)
 		if err != nil {

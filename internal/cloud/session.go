@@ -360,6 +360,13 @@ func (o *observer) finish() {
 	o.cond.Signal()
 }
 
+// pump is the session's owned event-delivery goroutine: it drains the
+// observer's cond-pumped buffer into the subscriber channel so a slow
+// consumer can never stall the sim. Delivery order within a machine is
+// the advance loop's emission order (dispatch appends under the buffer
+// lock); cross-machine interleaving is unordered by design.
+//
+//qcloud:eventowner
 func (o *observer) pump() {
 	for {
 		o.mu.Lock()

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapRange flags `range` over a map in the deterministic packages. Go
+// randomizes map iteration order, so any map range that feeds a trace,
+// an event stream, a float fold, or any other pinned output silently
+// breaks bit-identity. Two escape hatches keep honest code quiet:
+//
+//   - the collect-keys-then-sort idiom (the loop body only appends the
+//     key to a slice that is later passed to sort/slices in the same
+//     function) is recognized structurally;
+//   - loops whose effect provably cannot depend on order (exact
+//     commutative folds like integer sums, selections with a
+//     total-order tie-break) carry //qcloud:orderinvariant with a
+//     justification.
+var MapRange = &Analyzer{
+	Name:  "maprange",
+	Doc:   "flag map iteration in deterministic packages unless keys are sorted before use or the loop is annotated //" + DirectiveOrderInvariant,
+	Scope: DeterministicPackages,
+	Run:   runMapRange,
+}
+
+func runMapRange(p *Pass) error {
+	for _, f := range p.Files {
+		annotated := directiveLines(p.Fset, f, DirectiveOrderInvariant)
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if stmtAnnotated(p.Fset, annotated, rs.Pos()) {
+				return true
+			}
+			if sortedKeyCollection(p, rs, enclosingFuncBody(stack)) {
+				return true
+			}
+			p.Reportf(rs.Pos(), "range over map %s iterates in nondeterministic order; sort the keys before use or annotate the loop //%s",
+				types.ExprString(rs.X), DirectiveOrderInvariant)
+			return true
+		})
+	}
+	return nil
+}
+
+// sortedKeyCollection recognizes the collect-keys-then-sort idiom: the
+// loop body is exactly `ks = append(ks, k)` for the range key k, and a
+// later statement in the same function passes ks to a sort/slices
+// sorting call. The subsequent iteration over the sorted slice is then
+// deterministic by construction.
+func sortedKeyCollection(p *Pass, rs *ast.RangeStmt, funcBody *ast.BlockStmt) bool {
+	if funcBody == nil || rs.Body == nil || len(rs.Body.List) != 1 {
+		return false
+	}
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	asg, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	dst, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || !isBuiltin(p.TypesInfo, call.Fun, "append") || len(call.Args) < 2 {
+		return false
+	}
+	arg0, ok := call.Args[0].(*ast.Ident)
+	if !ok || p.TypesInfo.ObjectOf(arg0) != p.TypesInfo.ObjectOf(dst) {
+		return false
+	}
+	keyObj := p.TypesInfo.ObjectOf(key)
+	appendsKey := false
+	for _, a := range call.Args[1:] {
+		if id, ok := a.(*ast.Ident); ok && p.TypesInfo.ObjectOf(id) == keyObj {
+			appendsKey = true
+		}
+	}
+	if !appendsKey {
+		return false
+	}
+	// Look for a later sort of dst anywhere in the enclosing function.
+	dstObj := p.TypesInfo.ObjectOf(dst)
+	sorted := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		c, ok := n.(*ast.CallExpr)
+		if !ok || c.Pos() <= rs.End() {
+			return true
+		}
+		sel, ok := c.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pn := pkgNameOf(p.TypesInfo, sel.X)
+		if pn == nil {
+			return true
+		}
+		switch pn.Imported().Path() {
+		case "sort":
+			// Every sort.* entry point orders its argument.
+		case "slices":
+			if !strings.HasPrefix(sel.Sel.Name, "Sort") {
+				return true
+			}
+		default:
+			return true
+		}
+		for _, a := range c.Args {
+			if mentionsObject(p.TypesInfo, a, dstObj) {
+				sorted = true
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// isBuiltin reports whether e denotes the named Go builtin.
+func isBuiltin(info *types.Info, e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// mentionsObject reports whether expression e references obj.
+func mentionsObject(info *types.Info, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,237 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoAlloc checks functions annotated //qcloud:noalloc — the PR 2/3
+// hot-path kernels whose steady-state execution the AllocsPerRun tests
+// pin at zero allocations. The analyzer flags allocation-forcing
+// constructs at review time, so a stray make or closure fails vet
+// before it fails the benchmark suite:
+//
+//   - make / new calls;
+//   - slice and map composite literals (array and struct literals are
+//     stack values and stay legal);
+//   - append, unless in the self-append reuse form x = append(x, ...)
+//     (or x = append(x[:0], ...)) over preallocated capacity;
+//   - function literals (closures capture their environment on the
+//     heap — the reason the fused executor takes Mat4 by pointer);
+//   - go statements;
+//   - interface conversions of non-pointer-shaped values (explicit
+//     conversions, assignments, and call arguments), which box the
+//     value; pointers, funcs, maps and channels fit the interface word
+//     and stay legal;
+//   - string([]byte) / []byte(string) conversions and string
+//     concatenation.
+//
+// The check is intraprocedural by design: each annotated function
+// vouches for its own body, and the dynamic AllocsPerRun pin remains
+// the backstop for everything it calls.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "flag allocation-forcing constructs inside functions annotated //" + DirectiveNoAlloc,
+	Run:  runNoAlloc,
+}
+
+func runNoAlloc(p *Pass) error {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, DirectiveNoAlloc) {
+				continue
+			}
+			checkNoAlloc(p, fd)
+		}
+	}
+	return nil
+}
+
+func checkNoAlloc(p *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	// Self-appends are validated where they are assigned, so the plain
+	// CallExpr visit must skip the ones already vetted.
+	selfAppend := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				if call, ok := n.Rhs[0].(*ast.CallExpr); ok && isBuiltin(p.TypesInfo, call.Fun, "append") {
+					if isSelfAppend(n.Lhs[0], call) {
+						selfAppend[call] = true
+					}
+				}
+			}
+			checkInterfaceAssign(p, name, n.Lhs, n.Rhs)
+		case *ast.ValueSpec:
+			if n.Type != nil && len(n.Values) > 0 {
+				t := p.TypesInfo.TypeOf(n.Type)
+				for _, v := range n.Values {
+					reportIfBoxed(p, name, t, v)
+				}
+			}
+		case *ast.GoStmt:
+			p.Reportf(n.Pos(), "go statement in //%s function %s allocates a goroutine", DirectiveNoAlloc, name)
+		case *ast.FuncLit:
+			p.Reportf(n.Pos(), "closure literal in //%s function %s captures its environment on the heap", DirectiveNoAlloc, name)
+			return false
+		case *ast.CompositeLit:
+			t := p.TypesInfo.TypeOf(n)
+			if t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					p.Reportf(n.Pos(), "slice literal in //%s function %s allocates; reuse a preallocated buffer", DirectiveNoAlloc, name)
+				case *types.Map:
+					p.Reportf(n.Pos(), "map literal in //%s function %s allocates", DirectiveNoAlloc, name)
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if t := p.TypesInfo.TypeOf(n); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						p.Reportf(n.Pos(), "string concatenation in //%s function %s allocates", DirectiveNoAlloc, name)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkNoAllocCall(p, name, n, selfAppend)
+		}
+		return true
+	})
+}
+
+func checkNoAllocCall(p *Pass, name string, call *ast.CallExpr, selfAppend map[*ast.CallExpr]bool) {
+	// Builtins.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := p.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				p.Reportf(call.Pos(), "make in //%s function %s allocates; hoist the buffer to the worker and reuse it", DirectiveNoAlloc, name)
+			case "new":
+				p.Reportf(call.Pos(), "new in //%s function %s allocates", DirectiveNoAlloc, name)
+			case "append":
+				if !selfAppend[call] {
+					p.Reportf(call.Pos(), "append into a non-reused slice in //%s function %s allocates on growth; use the x = append(x, ...) reuse form over preallocated capacity", DirectiveNoAlloc, name)
+				}
+			}
+			return
+		}
+	}
+	// Explicit conversions: T(x).
+	if tv, ok := p.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		src := p.TypesInfo.TypeOf(call.Args[0])
+		if isInterface(dst) {
+			reportIfBoxed(p, name, dst, call.Args[0])
+			return
+		}
+		if isStringByteConversion(dst, src) {
+			p.Reportf(call.Pos(), "string/[]byte conversion in //%s function %s copies and allocates", DirectiveNoAlloc, name)
+		}
+		return
+	}
+	// Ordinary calls: arguments passed as interface parameters box
+	// non-pointer-shaped values.
+	sig, ok := p.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		if call.Ellipsis.IsValid() && i == len(call.Args)-1 {
+			// f(xs...) passes the slice itself; nothing boxes.
+			continue
+		}
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (i < params.Len() && !sig.Variadic()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && params.Len() > 0:
+			if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		}
+		if pt != nil && isInterface(pt) {
+			reportIfBoxed(p, name, pt, arg)
+		}
+	}
+}
+
+// checkInterfaceAssign flags assignments that box a concrete value
+// into an interface-typed destination.
+func checkInterfaceAssign(p *Pass, name string, lhs, rhs []ast.Expr) {
+	if len(lhs) != len(rhs) {
+		return
+	}
+	for i := range lhs {
+		t := p.TypesInfo.TypeOf(lhs[i])
+		if t != nil && isInterface(t) {
+			reportIfBoxed(p, name, t, rhs[i])
+		}
+	}
+}
+
+// reportIfBoxed reports a conversion of expression e to interface type
+// dst when it would heap-box the value. Interface-typed sources move
+// without boxing; pointer-shaped values (pointers, funcs, maps,
+// channels, unsafe pointers) fit the interface data word directly.
+func reportIfBoxed(p *Pass, name string, dst types.Type, e ast.Expr) {
+	if !isInterface(dst) {
+		return
+	}
+	src := p.TypesInfo.TypeOf(e)
+	if src == nil || isInterface(src) {
+		return
+	}
+	if b, ok := src.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	switch src.Underlying().(type) {
+	case *types.Pointer, *types.Signature, *types.Map, *types.Chan:
+		return
+	}
+	p.Reportf(e.Pos(), "converting %s to interface in //%s function %s heap-boxes the value", src.String(), DirectiveNoAlloc, name)
+}
+
+func isInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// isStringByteConversion reports string<->[]byte/[]rune conversions.
+func isStringByteConversion(dst, src types.Type) bool {
+	if dst == nil || src == nil {
+		return false
+	}
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteSlice := func(t types.Type) bool {
+		sl, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := sl.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	return (isStr(dst) && isByteSlice(src)) || (isByteSlice(dst) && isStr(src))
+}
+
+// isSelfAppend reports the x = append(x, ...) reuse form, also
+// accepting a reslice of the destination (x = append(x[:0], ...)).
+func isSelfAppend(lhs ast.Expr, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	arg0 := call.Args[0]
+	if sl, ok := arg0.(*ast.SliceExpr); ok {
+		arg0 = sl.X
+	}
+	return types.ExprString(lhs) == types.ExprString(arg0)
+}

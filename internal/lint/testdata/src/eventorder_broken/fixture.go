@@ -1,0 +1,23 @@
+// Package fixture is the deliberately-broken eventorder fixture: it
+// launches goroutines that emit session events and mutate traces
+// outside the owned delivery path, so each site must be flagged.
+package fixture
+
+import (
+	"qcloud/internal/cloud"
+	"qcloud/internal/trace"
+)
+
+func leak(ch chan cloud.Event, ev cloud.Event, tr *trace.Trace, j *trace.Job) {
+	go func() {
+		ch <- ev                     // want `send on Event channel from a goroutine outside the machineSim advance loop`
+		tr.Jobs = append(tr.Jobs, j) // want `append to trace.Trace field tr.Jobs from a goroutine`
+	}()
+	go relay(ch, ev)
+}
+
+// relay is started as a goroutine above and carries no eventowner
+// directive, so its send is flagged at the send site.
+func relay(ch chan cloud.Event, ev cloud.Event) {
+	ch <- ev // want `send on Event channel from a goroutine outside the machineSim advance loop`
+}

@@ -1,0 +1,25 @@
+// Package fixture is the fixed twin of eventorder_broken: emission
+// happens on the calling goroutine (the advance-loop pattern) or in a
+// sanctioned //qcloud:eventowner delivery function, so the analyzer
+// must stay quiet.
+package fixture
+
+import (
+	"qcloud/internal/cloud"
+	"qcloud/internal/trace"
+)
+
+// advance emits from the calling goroutine — the advance loop itself —
+// and hands asynchronous delivery to the sanctioned path.
+func advance(ch chan cloud.Event, ev cloud.Event, tr *trace.Trace, j *trace.Job) {
+	ch <- ev
+	tr.Jobs = append(tr.Jobs, j)
+	go deliver(ch, ev)
+}
+
+// deliver is the session's owned asynchronous delivery path.
+//
+//qcloud:eventowner
+func deliver(ch chan cloud.Event, ev cloud.Event) {
+	ch <- ev
+}

@@ -1,0 +1,13 @@
+// Package fixture is the deliberately-broken globalrand fixture:
+// every draw below goes through the shared process-global source, so
+// the sequence depends on every other caller in the process.
+package fixture
+
+import "math/rand"
+
+func roll() int {
+	rand.Seed(99)       // want `rand.Seed uses the process-global source`
+	return rand.Intn(6) // want `rand.Intn uses the process-global source`
+}
+
+var pick = rand.Float64 // want `rand.Float64 uses the process-global source`

@@ -1,0 +1,32 @@
+// Package fixture is the deliberately-broken maprange fixture: every
+// loop below iterates a map without sorting, and none carries the
+// orderinvariant directive, so each must be flagged.
+package fixture
+
+// sumWeights folds floats in map order — the exact bug class the
+// analyzer exists for (float addition is not associative).
+func sumWeights(m map[string]float64) float64 {
+	t := 0.0
+	for _, v := range m { // want `range over map m iterates in nondeterministic order`
+		t += v
+	}
+	return t
+}
+
+// collectUnsorted gathers keys but never sorts them, so the
+// collect-keys-then-sort escape hatch does not apply.
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `range over map m iterates in nondeterministic order`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// emit writes map entries straight to an output slice.
+func emit(m map[int]int, out []int) []int {
+	for k, v := range m { // want `range over map m iterates in nondeterministic order`
+		out = append(out, k, v)
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+// Package fixture is the fixed twin of maprange_broken: every loop is
+// either key-sorted, provably order-invariant, or not a map range at
+// all, so the analyzer must stay quiet.
+package fixture
+
+import "sort"
+
+// collectSorted uses the collect-keys-then-sort idiom the analyzer
+// recognizes structurally.
+func collectSorted(m map[string]float64) float64 {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	t := 0.0
+	for _, k := range keys {
+		t += m[k]
+	}
+	return t
+}
+
+// total is an exact commutative fold: per-key integer addition cannot
+// depend on iteration order, which the directive asserts.
+func total(m map[string]int) int {
+	t := 0
+	//qcloud:orderinvariant
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// overSlice ranges a slice, which iterates in index order.
+func overSlice(xs []float64) float64 {
+	t := 0.0
+	for _, v := range xs {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,28 @@
+// Package fixture is the deliberately-broken noalloc fixture: kernel
+// is annotated, so every allocation-forcing construct in its body
+// must produce exactly one diagnostic.
+package fixture
+
+var sink interface{}
+
+func use(v interface{}) { sink = v }
+
+func spin() {}
+
+//qcloud:noalloc
+func kernel(dst, src []float64, s string, n int) []float64 {
+	buf := make([]float64, n)      // want `make in //qcloud:noalloc function kernel allocates`
+	p := new(int)                  // want `new in //qcloud:noalloc function kernel allocates`
+	w := []float64{1, 2}           // want `slice literal in //qcloud:noalloc function kernel allocates`
+	m := map[int]int{}             // want `map literal in //qcloud:noalloc function kernel allocates`
+	dst = append(src, w...)        // want `append into a non-reused slice in //qcloud:noalloc function kernel`
+	f := func() int { return n }   // want `closure literal in //qcloud:noalloc function kernel`
+	go spin()                      // want `go statement in //qcloud:noalloc function kernel`
+	use(n)                         // want `converting int to interface in //qcloud:noalloc function kernel heap-boxes`
+	var box interface{} = [2]int{} // want `converting \[2\]int to interface in //qcloud:noalloc function kernel heap-boxes`
+	t := s + s                     // want `string concatenation in //qcloud:noalloc function kernel allocates`
+	bs := []byte(s)                // want `string/\[\]byte conversion in //qcloud:noalloc function kernel`
+	_ = box
+	_ = buf[0] + float64(*p) + float64(m[n]) + float64(f()) + float64(len(t)) + float64(len(bs))
+	return dst
+}

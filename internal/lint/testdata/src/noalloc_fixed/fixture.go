@@ -1,0 +1,30 @@
+// Package fixture is the fixed twin of noalloc_broken: the annotated
+// kernels reuse caller-owned buffers and only move pointer-shaped
+// values into interfaces, so the analyzer must stay quiet.
+package fixture
+
+//qcloud:noalloc
+func axpy(dst, xs []float64, a float64) []float64 {
+	// Array values are stack-allocated; only slice/map literals force
+	// a heap allocation.
+	var acc [4]float64
+	for i, x := range xs {
+		acc[i&3] += a * x
+	}
+	dst = append(dst[:0], xs...) // self-append reuse form over preallocated capacity
+	dst = append(dst, acc[0], acc[1], acc[2], acc[3])
+	return dst
+}
+
+// describe moves pointer-shaped values into interfaces: pointers and
+// funcs fit the interface data word without boxing.
+//
+//qcloud:noalloc
+func describe(p *int, f func() int) (a, b interface{}) {
+	a = p
+	b = f
+	return a, b
+}
+
+// unannotated functions may allocate freely.
+func unannotated(n int) []float64 { return make([]float64, n) }

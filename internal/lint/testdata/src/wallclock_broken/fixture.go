@@ -1,0 +1,17 @@
+// Package fixture is the deliberately-broken wallclock fixture: both
+// non-test and _test.go uses of the wall clock must be flagged.
+package fixture
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now() // want `time.Now reads the wall clock in a simulation package`
+}
+
+func age(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since reads the wall clock in a simulation package`
+}
+
+func deadline(d time.Duration) <-chan time.Time {
+	return time.After(d) // want `time.After reads the wall clock in a simulation package`
+}

@@ -1,0 +1,15 @@
+package fixture
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStamp builds its input from the wall clock, so a failure cannot
+// be replayed — the analyzer covers test files too.
+func TestStamp(t *testing.T) {
+	t0 := time.Now() // want `time.Now reads the wall clock in a simulation package`
+	if stamp().Before(t0.Add(-time.Hour)) {
+		t.Fatal("impossible")
+	}
+}

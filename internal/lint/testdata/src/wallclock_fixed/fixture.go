@@ -1,0 +1,14 @@
+// Package fixture is the fixed twin of wallclock_broken: every
+// instant is a parameter or a fixed literal, so the analyzer must
+// stay quiet.
+package fixture
+
+import "time"
+
+func stamp(now time.Time) time.Time { return now }
+
+func age(now, t0 time.Time) time.Duration { return now.Sub(t0) }
+
+func window(start time.Time, d time.Duration) time.Time {
+	return start.Add(d)
+}

@@ -1,0 +1,14 @@
+package fixture
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStamp uses a fixed timestamp, so the test replays bit-for-bit.
+func TestStamp(t *testing.T) {
+	ts := time.Date(2021, 4, 1, 9, 30, 0, 0, time.UTC)
+	if stamp(ts) != ts {
+		t.Fatal("stamp must be identity")
+	}
+}

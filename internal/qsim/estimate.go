@@ -24,7 +24,11 @@ const (
 // compile-time CX metrics predict fidelity (Fig 7, §IV-B).
 func EstimatePOS(c *circuit.Circuit, cal *backend.Calibration, staleHours float64) float64 {
 	fidelity := 1.0
-	activeUs := make(map[int]float64)
+	// Per-qubit active time, indexed by qubit: a dense slice (not a
+	// map) so the decoherence product below multiplies in a fixed qubit
+	// order — float products are order-sensitive at the ulp level, and
+	// map iteration order would make the estimate vary run to run.
+	activeUs := make([]float64, c.NQubits)
 	measured := 0
 	for _, g := range c.Gates {
 		switch {
@@ -47,8 +51,12 @@ func EstimatePOS(c *circuit.Circuit, cal *backend.Calibration, staleHours float6
 			activeUs[q] += dur1QUs
 		}
 	}
-	// Decoherence: each qubit decays with its T2 over its active time.
+	// Decoherence: each qubit decays with its T2 over its active time,
+	// folded in ascending qubit order so the product is reproducible.
 	for q, t := range activeUs {
+		if t == 0 {
+			continue
+		}
 		if q < len(cal.T2) && cal.T2[q] > 0 {
 			fidelity *= math.Exp(-t / cal.T2[q])
 		}

@@ -486,6 +486,8 @@ func (op *fusedOp) mulWhere(sel, want int, ph complex128) {
 // multiply. Entries equal to 1 are skipped so sparse tables (a lone CZ
 // touches a quarter of the index space) do not pay for writes they
 // would not have made unfused.
+//
+//qcloud:noalloc
 func (s *State) applyDiagRange(op *fusedOp, lo, hi int) {
 	re, im := s.re, s.im
 	tabRe, tabIm := op.tabRe, op.tabIm
@@ -526,6 +528,8 @@ func (s *State) applyDiag(op *fusedOp) {
 }
 
 // applySrc dispatches one lowered source gate onto the state.
+//
+//qcloud:noalloc
 func applySrc(st *State, g *srcGate) {
 	switch g.op {
 	case circuit.OpCX:
@@ -544,6 +548,8 @@ func applySrc(st *State, g *srcGate) {
 }
 
 // applyFast applies the op's fused kernel (the no-error path).
+//
+//qcloud:noalloc
 func (op *fusedOp) applyFast(st *State) {
 	switch op.kind {
 	case opSrc:
@@ -569,6 +575,8 @@ func (op *fusedOp) applyFast(st *State) {
 // represent. Draws for gates before `fired` were already consumed (and
 // missed); draws after it happen here, in program order, exactly as the
 // unfused engine would have made them.
+//
+//qcloud:noalloc
 func (op *fusedOp) applySlow(st *State, sr *rand.Rand, fired int) {
 	for k := range op.src {
 		g := &op.src[k]
@@ -597,6 +605,8 @@ func (op *fusedOp) applySlow(st *State, sr *rand.Rand, fired int) {
 // into clbits. st must be freshly Reset; clbits must be zeroed by the
 // caller (unmeasured bits stay 0). The steady-state loop allocates
 // nothing.
+//
+//qcloud:noalloc
 func (p *program) exec(st *State, clbits []int, sr *rand.Rand) {
 	noisy := p.noisy
 	for oi := range p.ops {

@@ -3,6 +3,7 @@ package qsim
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"qcloud/internal/backend"
 )
@@ -61,8 +62,17 @@ func (m *ReadoutMitigator) Apply(counts Counts) map[string]float64 {
 	n := len(m.inv)
 	total := float64(counts.Total())
 	quasi := make(map[string]float64)
-	for observed, cnt := range counts {
-		pObs := float64(cnt) / total
+	// Accumulate in sorted bitstring order: quasi[...] sums float
+	// weights across observed strings, and float addition is
+	// order-sensitive, so map iteration order would perturb the output
+	// at the ulp level from run to run.
+	observedKeys := make([]string, 0, len(counts))
+	for observed := range counts {
+		observedKeys = append(observedKeys, observed)
+	}
+	sort.Strings(observedKeys)
+	for _, observed := range observedKeys {
+		pObs := float64(counts[observed]) / total
 		// Distribute this observation's probability over all true
 		// strings reachable by flipping bits, weighted by the inverse
 		// channel. Expanding all 2^n terms is exponential; instead walk
@@ -98,18 +108,26 @@ func (m *ReadoutMitigator) Apply(counts Counts) map[string]float64 {
 			quasi[string(rev)] += p.weight
 		}
 	}
-	// Clip negatives and renormalize.
+	// Clip negatives and renormalize, again folding the float sum in
+	// sorted key order for reproducibility.
+	keys := make([]string, 0, len(quasi))
+	for k := range quasi {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	sum := 0.0
-	for k, v := range quasi {
-		if v < 0 {
+	for _, k := range keys {
+		if quasi[k] < 0 {
 			delete(quasi, k)
 			continue
 		}
-		sum += v
+		sum += quasi[k]
 	}
 	if sum > 0 {
-		for k := range quasi {
-			quasi[k] /= sum
+		for _, k := range keys {
+			if v, ok := quasi[k]; ok {
+				quasi[k] = v / sum
+			}
 		}
 	}
 	return quasi

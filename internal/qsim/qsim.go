@@ -76,6 +76,8 @@ func NewState(n int) (*State, error) {
 
 // Reset returns the state to |0...0> in place, so trajectory workers
 // can reuse one buffer across shots instead of allocating per shot.
+//
+//qcloud:noalloc
 func (s *State) Reset() {
 	clear(s.re)
 	clear(s.im)
@@ -192,6 +194,8 @@ func (s *State) reduce(fn reduceFn, arg int) float64 {
 }
 
 // normChunk is the Norm reducer (arg unused).
+//
+//qcloud:noalloc
 func (s *State) normChunk(_, lo, hi int) float64 {
 	t := 0.0
 	re, im := s.re, s.im
@@ -210,6 +214,8 @@ func (s *State) Norm() float64 {
 // "low" pair indices fall in [lo, hi). Pairs are walked block by block
 // (the bit-clear half of each 2*bit-aligned block) so the inner loop is
 // a branch-free sequential sweep instead of a skip-half scan.
+//
+//qcloud:noalloc
 func (s *State) apply1QRange(m circuit.Mat2, q, lo, hi int) {
 	bit := 1 << uint(q)
 	m00r, m00i := real(m[0]), imag(m[0])
@@ -242,6 +248,8 @@ func (s *State) apply1QRange(m circuit.Mat2, q, lo, hi int) {
 // imaginary parts (H, X, RY, ...): half the multiplies, and the real
 // and imaginary state halves decouple into independent SIMD-friendly
 // streams.
+//
+//qcloud:noalloc
 func (s *State) apply1QRealRange(m circuit.Mat2, q, lo, hi int) {
 	bit := 1 << uint(q)
 	m00, m01 := real(m[0]), real(m[1])
@@ -297,6 +305,8 @@ func (s *State) Apply1Q(m circuit.Mat2, q int) {
 // two-level bit-aligned block iteration — branch-free inner sweeps, no
 // skip-scanning — and every amplitude of a quad is written only by the
 // shard owning the base index, so sharded sweeps are race-free.
+//
+//qcloud:noalloc
 func (s *State) apply2QRange(m *circuit.Mat4, q0, q1, lo, hi int) {
 	b0, b1 := 1<<uint(q0), 1<<uint(q1)
 	var mr, mi [16]float64
@@ -348,6 +358,8 @@ func (s *State) apply2QRange(m *circuit.Mat4, q0, q1, lo, hi int) {
 // apply2QRealRange is apply2QRange specialized for matrices with no
 // imaginary parts: half the multiplies, and the real and imaginary
 // state halves decouple into independent SIMD-friendly streams.
+//
+//qcloud:noalloc
 func (s *State) apply2QRealRange(m *circuit.Mat4, q0, q1, lo, hi int) {
 	b0, b1 := 1<<uint(q0), 1<<uint(q1)
 	var mr [16]float64
@@ -436,6 +448,7 @@ func (s *State) apply2Q(m *circuit.Mat4, q0, q1 int) {
 	s.shard(func(lo, hi int) { s.apply2QRange(m, q0, q1, lo, hi) })
 }
 
+//qcloud:noalloc
 func (s *State) applyCXRange(ctrl, tgt, lo, hi int) {
 	cb, tb := 1<<uint(ctrl), 1<<uint(tgt)
 	re, im := s.re, s.im
@@ -457,6 +470,7 @@ func (s *State) ApplyCX(ctrl, tgt int) {
 	s.shard(func(lo, hi int) { s.applyCXRange(ctrl, tgt, lo, hi) })
 }
 
+//qcloud:noalloc
 func (s *State) applyCZRange(a, b, lo, hi int) {
 	ab, bb := 1<<uint(a), 1<<uint(b)
 	re, im := s.re, s.im
@@ -477,6 +491,7 @@ func (s *State) ApplyCZ(a, b int) {
 	s.shard(func(lo, hi int) { s.applyCZRange(a, b, lo, hi) })
 }
 
+//qcloud:noalloc
 func (s *State) applyCPhaseRange(a, b int, ph complex128, lo, hi int) {
 	ab, bb := 1<<uint(a), 1<<uint(b)
 	pr, pi := real(ph), imag(ph)
@@ -509,6 +524,8 @@ func (s *State) ApplyCPhase(a, b int, theta float64) {
 // two-level bit-aligned block iteration instead of skip-scanning the
 // full index space; a shard owning base i writes only i|ab and i|bb,
 // which no other shard enumerates, so sharded sweeps stay race-free.
+//
+//qcloud:noalloc
 func (s *State) applySWAPRange(a, b, lo, hi int) {
 	ab, bb := 1<<uint(a), 1<<uint(b)
 	re, im := s.re, s.im
@@ -557,6 +574,8 @@ func (s *State) ApplySWAP(a, b int) {
 // space, branch-free — instead of condition-scanning every index. A
 // shard owning base i writes only i|b1|b2 and i|b1|b2|tb, which no
 // other shard enumerates.
+//
+//qcloud:noalloc
 func (s *State) applyCCXRange(c1, c2, tgt, lo, hi int) {
 	b1, b2, tb := 1<<uint(c1), 1<<uint(c2), 1<<uint(tgt)
 	re, im := s.re, s.im
@@ -617,6 +636,8 @@ func (s *State) ApplyCCX(c1, c2, tgt int) {
 }
 
 // probOneChunk is the ProbOne reducer; arg is the qubit's bit mask.
+//
+//qcloud:noalloc
 func (s *State) probOneChunk(bit, lo, hi int) float64 {
 	p := 0.0
 	re, im := s.re, s.im
@@ -645,6 +666,7 @@ func (s *State) MeasureQubit(q int, r *rand.Rand) int {
 	return outcome
 }
 
+//qcloud:noalloc
 func (s *State) collapseRange(bit, outcome int, scale float64, lo, hi int) {
 	re, im := s.re, s.im
 	for i := lo; i < hi; i++ {

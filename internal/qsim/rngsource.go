@@ -48,6 +48,8 @@ var lfMul3 = uint64(48271) * 48271 % int31max * 48271 % int31max
 // Mersenne folding instead of division. The product fits 47 bits, so
 // one fold plus one conditional subtract lands in [0, 2³¹-2], exactly
 // as the stdlib's Schrage-method seedrand produces (x is never 0).
+//
+//qcloud:noalloc
 func lfSeedrand(x int32) int32 {
 	v := uint64(x) * 48271
 	v = (v & int31max) + (v >> 31)
@@ -70,6 +72,8 @@ func newLFSource() *lfSource { return &lfSource{} }
 // lfStep advances one seeding lane by an arbitrary multiplier mod
 // 2³¹-1 (x, mul < 2³¹, so the product fits 62 bits and two folds plus
 // a conditional subtract reduce it exactly).
+//
+//qcloud:noalloc
 func lfStep(x, mul uint64) uint64 {
 	v := x * mul
 	v = (v & int31max) + (v >> 31)
@@ -86,6 +90,8 @@ func lfStep(x, mul uint64) uint64 {
 // XOR. Slot i consumes chain values x_{3i+1..3i+3}, so the fill runs
 // as three strided lanes stepped by 48271³ — independent dependency
 // chains the CPU can overlap — instead of 3·607 serial multiplies.
+//
+//qcloud:noalloc
 func (s *lfSource) Seed(seed int64) {
 	s.tap = 0
 	s.feed = lfLen - lfTap
@@ -111,6 +117,7 @@ func (s *lfSource) Seed(seed int64) {
 	}
 }
 
+//qcloud:noalloc
 func (s *lfSource) Uint64() uint64 {
 	s.tap--
 	if s.tap < 0 {
@@ -125,6 +132,7 @@ func (s *lfSource) Uint64() uint64 {
 	return uint64(x)
 }
 
+//qcloud:noalloc
 func (s *lfSource) Int63() int64 {
 	return int64(s.Uint64() & lfMask)
 }

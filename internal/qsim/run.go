@@ -64,6 +64,8 @@ type Counts map[string]int
 // Total returns the number of shots recorded.
 func (c Counts) Total() int {
 	t := 0
+	// Integer addition is exact, so the fold is order-invariant.
+	//qcloud:orderinvariant
 	for _, n := range c {
 		t += n
 	}
@@ -86,6 +88,9 @@ func (c Counts) Prob(bits string) float64 {
 func (c Counts) MostFrequent() (string, int) {
 	best, bestN := "", 0
 	first := true
+	// The lexicographic tie-break totally orders candidates, so the
+	// selected mode is independent of iteration order.
+	//qcloud:orderinvariant
 	for b, n := range c {
 		if first || n > bestN || (n == bestN && b < best) {
 			best, bestN = b, n
@@ -97,6 +102,8 @@ func (c Counts) MostFrequent() (string, int) {
 
 // merge adds other's observations into c.
 func (c Counts) merge(other Counts) {
+	// Per-key integer addition commutes exactly.
+	//qcloud:orderinvariant
 	for b, n := range other {
 		c[b] += n
 	}

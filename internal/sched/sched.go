@@ -35,6 +35,10 @@ import (
 type FleetInfo struct {
 	machines map[string]*backend.Machine
 	meanExec map[string]float64
+	// ordered is the roster in fleet-config order: placement scans must
+	// visit machines in a fixed sequence so tie-breaks (first candidate
+	// at equal score) are deterministic, not map-iteration-order.
+	ordered []*backend.Machine
 }
 
 // NewFleetInfo indexes the config's fleet and background model.
@@ -54,6 +58,7 @@ func NewFleetInfo(cfg cloud.Config) *FleetInfo {
 	for _, m := range machines {
 		f.machines[m.Name] = m
 		f.meanExec[m.Name] = bg.MeanExecSeconds(m)
+		f.ordered = append(f.ordered, m)
 	}
 	return f
 }
@@ -148,7 +153,7 @@ func (f *FleetInfo) EstimatedFidelity(spec *cloud.JobSpec, machine string, t tim
 // submit time: online, wide enough, and accessible to the user class.
 func (f *FleetInfo) Candidates(spec *cloud.JobSpec) []*backend.Machine {
 	var out []*backend.Machine
-	for _, m := range f.machines {
+	for _, m := range f.ordered {
 		if !m.AvailableAt(spec.SubmitTime) || m.NumQubits() < spec.Width {
 			continue
 		}
