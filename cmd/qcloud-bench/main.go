@@ -15,6 +15,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -383,6 +384,61 @@ func run(iters, maxWidth, shots int) (*Report, error) {
 		}
 	}
 
+	// CloudFaultRecovery: the same fleet sweep under the adversarial
+	// fault scenario with retries enabled — what outages, transient
+	// failures and backoff requeues cost over the calm run — plus the
+	// full checkpoint pipeline (snapshot mid-run, serialize, restore,
+	// finish) against running straight through.
+	advSc, err := workload.FindFaultScenario("adversarial")
+	if err != nil {
+		return nil, err
+	}
+	cloudMid := cloudStart.AddDate(0, 1, 0)
+	for _, mode := range []struct {
+		name string
+		f    func() error
+	}{
+		{"CloudFaultRecovery/simulate-adversarial", func() error {
+			_, err := cloud.Simulate(advSc.Apply(cloudCfg(1)), cloudSpecs)
+			return err
+		}},
+		{"CloudFaultRecovery/checkpoint-roundtrip", func() error {
+			cfg := advSc.Apply(cloudCfg(1))
+			sess, err := cloud.Open(cfg)
+			if err != nil {
+				return err
+			}
+			for _, s := range cloudSpecs {
+				if _, err := sess.SubmitRetried(s, 0); err != nil {
+					return err
+				}
+			}
+			sess.AdvanceTo(cloudMid)
+			ck, err := sess.Checkpoint()
+			if err != nil {
+				return err
+			}
+			var buf bytes.Buffer
+			if err := cloud.WriteCheckpoint(&buf, ck); err != nil {
+				return err
+			}
+			decoded, err := cloud.ReadCheckpoint(&buf)
+			if err != nil {
+				return err
+			}
+			restored, err := cloud.Restore(cfg, decoded)
+			if err != nil {
+				return err
+			}
+			_, err = restored.Run()
+			return err
+		}},
+	} {
+		if err := add(measure(mode.name, iters, mode.f)); err != nil {
+			return nil, err
+		}
+	}
+
 	// Kernel crossover probe: the same 16q exact evolution with the
 	// parallel threshold forced low, default, and high — the knob
 	// Parallelism.KernelMinAmps exposes.
@@ -418,6 +474,10 @@ func run(iters, maxWidth, shots int) (*Report, error) {
 		{"CloudFleetSweep", "CloudFleetSweep/simulate-serial", "CloudFleetSweep/simulate-parallel-4", "serial"},
 		{"CloudFleetSweep/session-batch", "CloudFleetSweep/simulate-serial", "CloudFleetSweep/session-batch", "batch-simulate"},
 		{"CloudFleetSweep/session-online", "CloudFleetSweep/simulate-serial", "CloudFleetSweep/session-online", "batch-simulate"},
+		// Recovery overhead: fault injection + retries vs the calm run,
+		// and the checkpoint round-trip vs running straight through.
+		{"CloudFaultRecovery", "CloudFleetSweep/simulate-serial", "CloudFaultRecovery/simulate-adversarial", "no-faults"},
+		{"CloudFaultRecovery/checkpoint", "CloudFaultRecovery/simulate-adversarial", "CloudFaultRecovery/checkpoint-roundtrip", "straight-run"},
 	}
 	for _, n := range []int{16, 20, 22} {
 		if n > maxWidth {

@@ -5,10 +5,18 @@
 // queue samples). With -events the session's lifecycle stream is
 // tallied live as the fleet advances.
 //
+// Fault injection is opt-in via -faults (a workload.FaultScenarios
+// preset); -checkpoint snapshots the faulted run mid-window and
+// -restore resumes from such a snapshot, reproducing the uninterrupted
+// trace byte for byte as long as the other flags match the original
+// run.
+//
 // Usage:
 //
 //	qcloud-sim -seed 42 -jobs 6200 -workers 8 -csv trace.csv -json trace.json
 //	qcloud-sim -seed 42 -events
+//	qcloud-sim -seed 42 -faults adversarial -checkpoint snap.qcsn -checkpoint-days 365
+//	qcloud-sim -seed 42 -faults adversarial -restore snap.qcsn -csv trace.csv
 package main
 
 import (
@@ -16,7 +24,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
+	"time"
 
+	"qcloud/internal/backend"
 	"qcloud/internal/cloud"
 	"qcloud/internal/par"
 	"qcloud/internal/trace"
@@ -27,27 +38,63 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("qcloud-sim: ")
 	var (
-		seed    = flag.Int64("seed", 42, "random seed; the same seed reproduces the trace byte for byte")
-		jobs    = flag.Int("jobs", 6200, "expected study job count")
-		workers = flag.Int("workers", 0, "worker pool size for the fleet sweep (0 = NumCPU, 1 = serial; output is identical either way)")
-		csvPath = flag.String("csv", "", "write job records as CSV to this path")
-		jsPath  = flag.String("json", "", "write the full trace (jobs + machine stats) as JSON to this path")
-		events  = flag.Bool("events", false, "subscribe to the session event stream and print per-kind totals")
-		quiet   = flag.Bool("q", false, "suppress the summary")
+		seed     = flag.Int64("seed", 42, "random seed; the same seed reproduces the trace byte for byte")
+		jobs     = flag.Int("jobs", 6200, "expected study job count")
+		workers  = flag.Int("workers", 0, "worker pool size for the fleet sweep (0 = NumCPU, 1 = serial; output is identical either way)")
+		csvPath  = flag.String("csv", "", "write job records as CSV to this path")
+		jsPath   = flag.String("json", "", "write the full trace (jobs + machine stats) as JSON to this path")
+		events   = flag.Bool("events", false, "subscribe to the session event stream and print per-kind totals")
+		faults   = flag.String("faults", "", "fault-injection scenario preset (see -faults list)")
+		ckptPath = flag.String("checkpoint", "", "write a mid-run session checkpoint to this path")
+		ckptDays = flag.Float64("checkpoint-days", 365, "days into the window at which -checkpoint snapshots")
+		restore  = flag.String("restore", "", "resume from a checkpoint file instead of starting fresh (seed/jobs/faults must match the original run)")
+		quiet    = flag.Bool("q", false, "suppress the summary")
 	)
 	flag.Parse()
 	par.SetWorkers(*workers)
 
-	specs := workload.Generate(workload.Config{Seed: *seed, TotalJobs: *jobs})
-	sess, err := cloud.Open(cloud.Config{Seed: *seed, Workers: *workers})
-	if err != nil {
+	cfg := cloud.Config{Seed: *seed, Workers: *workers}
+	if *faults != "" {
+		sc, err := workload.FindFaultScenario(*faults)
+		if err != nil {
+			var names []string
+			for _, s := range workload.FaultScenarios() {
+				names = append(names, s.Name)
+			}
+			log.Fatalf("%v (available: %s)", err, strings.Join(names, ", "))
+		}
+		cfg = sc.Apply(cfg)
+	}
+	var sess *cloud.Session
+	var err error
+	if *restore != "" {
+		f, err := os.Open(*restore)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ck, err := cloud.ReadCheckpoint(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		sess, err = cloud.Restore(cfg, ck)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("restored session from %s", *restore)
+	} else if sess, err = cloud.Open(cfg); err != nil {
 		log.Fatal(err)
 	}
 	// Event totals are tallied from the observation stream while the
 	// fleet advances; the channel closes once the session ends.
 	tallied := make(chan map[cloud.EventKind]int64, 1)
 	if *events {
-		stream := sess.Observe(cloud.EventFilter{})
+		stream, err := sess.Observe(cloud.EventFilter{})
+		if err != nil {
+			log.Fatal(err)
+		}
 		go func() {
 			counts := make(map[cloud.EventKind]int64)
 			for ev := range stream {
@@ -56,10 +103,34 @@ func main() {
 			tallied <- counts
 		}()
 	}
-	for _, s := range specs {
-		if _, err := sess.Submit(s); err != nil {
+	if *restore == "" {
+		// A restored session already carries its submitted workload; a
+		// fresh one gets the generated study stream (SubmitRetried rides
+		// out the fault injector's transient submission rejections).
+		for _, s := range workload.Generate(workload.Config{Seed: *seed, TotalJobs: *jobs}) {
+			if _, err := sess.SubmitRetried(s, 0); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if *ckptPath != "" {
+		at := backend.StudyStart.Add(time.Duration(*ckptDays * 24 * float64(time.Hour)))
+		sess.AdvanceTo(at)
+		ck, err := sess.Checkpoint()
+		if err != nil {
 			log.Fatal(err)
 		}
+		f, err := os.Create(*ckptPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cloud.WriteCheckpoint(f, ck); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("checkpoint at %s written to %s", at.Format(time.RFC3339), *ckptPath)
 	}
 	tr, err := sess.Run()
 	if err != nil {
@@ -96,6 +167,7 @@ func main() {
 		for _, k := range []cloud.EventKind{
 			cloud.EventEnqueue, cloud.EventStart, cloud.EventDone, cloud.EventError,
 			cloud.EventCancel, cloud.EventDowntime, cloud.EventPendingSample,
+			cloud.EventMachineDown, cloud.EventMachineUp, cloud.EventRetry, cloud.EventRequeue,
 		} {
 			fmt.Printf("  %-15s %d\n", k, counts[k])
 		}

@@ -53,10 +53,13 @@ func main() {
 		}
 		// Watch our own jobs' terminal events while the session runs.
 		done := make(chan [2]int, 1)
-		events := sess.Observe(cloud.EventFilter{
+		events, err := sess.Observe(cloud.EventFilter{
 			StudyOnly: true,
 			Kinds:     []cloud.EventKind{cloud.EventDone, cloud.EventError, cloud.EventCancel},
 		})
+		if err != nil {
+			log.Fatal(err)
+		}
 		go func() {
 			finished, cancelled := 0, 0
 			for ev := range events {

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"qcloud/internal/backend"
+	"qcloud/internal/fault"
 	"qcloud/internal/trace"
 )
 
@@ -75,6 +76,69 @@ type Config struct {
 	// machine-seeded RNGs, so the trace is bit-identical for any
 	// worker count.
 	Workers int
+	// Faults enables the deterministic fault injector: unplanned
+	// outages, transient submit/backend errors, failure bursts and
+	// calibration-staleness waves (nil = nothing ever fails
+	// unexpectedly). Fault decisions come from their own splitmix64
+	// streams, so enabling them never perturbs the machine RNG
+	// sequence.
+	Faults *fault.Profile
+	// Retry requeues transiently-failed jobs with capped exponential
+	// backoff (nil = transient failures are terminal errors).
+	Retry *RetryPolicy
+}
+
+// RetryPolicy governs how a machine requeues jobs killed by transient
+// backend faults: capped exponential backoff with deterministic
+// jitter, a per-job attempt budget, and an optional per-user retry
+// budget. Backoff jitter is a stateless splitmix64 hash of (seed,
+// machine, job, attempt), so retry timing is bit-identical across
+// worker counts and checkpoint/restore.
+type RetryPolicy struct {
+	// MaxAttempts bounds total executions per job, first try included
+	// (default 3).
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry (default 60s);
+	// each further attempt doubles it, capped at MaxBackoff (default
+	// 1h). The cap applies after jitter: no retry waits longer than
+	// MaxBackoff.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// JitterFrac spreads each delay uniformly over ±JitterFrac of
+	// itself (default 0.25; negative = no jitter).
+	JitterFrac float64
+	// BudgetPerUser caps retries charged to one user per machine
+	// (0 = unlimited): a tenant-level circuit breaker so a pathological
+	// workload cannot monopolize recovery capacity.
+	BudgetPerUser int
+}
+
+func (p *RetryPolicy) withDefaults() *RetryPolicy {
+	q := *p
+	if q.MaxAttempts <= 0 {
+		q.MaxAttempts = 3
+	}
+	if q.BaseBackoff <= 0 {
+		q.BaseBackoff = time.Minute
+	}
+	if q.MaxBackoff <= 0 {
+		q.MaxBackoff = time.Hour
+	}
+	if q.JitterFrac == 0 {
+		q.JitterFrac = 0.25
+	}
+	return &q
+}
+
+// backoffSec returns the delay before the given retry attempt
+// (attempt 1 = first retry): exponential in the attempt, jittered by
+// the job's deterministic stream, capped at MaxBackoff.
+func (p *RetryPolicy) backoffSec(attempt int, seed, machineSeed, jobID int64) float64 {
+	d := p.BaseBackoff.Seconds() * math.Pow(2, float64(attempt-1))
+	if p.JitterFrac > 0 {
+		d *= 1 + p.JitterFrac*(2*fault.Unit(seed, machineSeed, jobID, int64(attempt), 11)-1)
+	}
+	return math.Min(d, p.MaxBackoff.Seconds())
 }
 
 func (c Config) withDefaults() Config {
@@ -105,7 +169,9 @@ func (c Config) withDefaults() Config {
 // study jobs and returns the trace: the batch wrapper over the Session
 // API (open, submit everything, run to completion). Study jobs may
 // target any machine in the fleet; specs on unknown machines are an
-// error.
+// error. Transient submit rejections from the fault injector are
+// retried like a patient client would (and never occur with faults
+// disabled).
 func Simulate(cfg Config, specs []*JobSpec) (*trace.Trace, error) {
 	s, err := Open(cfg)
 	if err != nil {
@@ -113,7 +179,7 @@ func Simulate(cfg Config, specs []*JobSpec) (*trace.Trace, error) {
 	}
 	defer s.Close()
 	for _, spec := range specs {
-		if _, err := s.Submit(spec); err != nil {
+		if _, err := s.SubmitRetried(spec, 0); err != nil {
 			return nil, err
 		}
 	}
@@ -129,6 +195,15 @@ type queuedJob struct {
 	priority  float64 // fair-share score: lower runs first
 	seq       int64   // tiebreaker
 	userUsage *float64
+	// user is the fair-share key (kept by name so retries and
+	// checkpoints can re-link the usage accumulator).
+	user string
+	// id identifies the job across retries: the seq of its first
+	// enqueue, stable while seq changes on every requeue.
+	id int64
+	// attempt counts completed executions before this one (0 = first
+	// try); the retry policy's per-job budget is spent against it.
+	attempt int
 	// pendingAtSubmit is the queue length observed at enqueue time,
 	// kept for wait-prediction calibration.
 	pendingAtSubmit int

@@ -397,7 +397,11 @@ func TestWithDefaultsErrorRate(t *testing.T) {
 // downtimeSim builds a bare machineSim carrying only the downtime
 // cursor state afterDowntime needs.
 func downtimeSim(windows [][2]float64, endSec float64) *machineSim {
-	return &machineSim{downtimes: windows, endSec: endSec}
+	ms := &machineSim{endSec: endSec}
+	for _, w := range windows {
+		ms.downtimes = append(ms.downtimes, dtWin{start: w[0], end: w[1]})
+	}
+	return ms
 }
 
 func TestGenDowntimesClippedAtEnd(t *testing.T) {

@@ -1,0 +1,177 @@
+package cloud
+
+import (
+	"testing"
+	"time"
+
+	"qcloud/internal/backend"
+	"qcloud/internal/trace"
+)
+
+// Integration-level downtime edge cases: these drive a real session but
+// plant synthetic downtime calendars on the machine, which only an
+// in-package test can do.
+
+func edgeConfig(seed int64) Config {
+	m, err := backend.FindMachine(backend.Fleet(), "ibmq_rome")
+	if err != nil {
+		panic(err)
+	}
+	bg := DefaultBackground()
+	bg.PublicUtil, bg.PrivateUtil = 0, 0
+	bg.RampFloor = 0
+	return Config{
+		Seed:       seed,
+		Start:      time.Date(2021, 2, 1, 0, 0, 0, 0, time.UTC),
+		End:        time.Date(2021, 4, 1, 0, 0, 0, 0, time.UTC),
+		Machines:   []*backend.Machine{m},
+		Background: bg,
+		NoErrors:   true,
+	}
+}
+
+func edgeSpec(i int, at time.Time) *JobSpec {
+	return &JobSpec{
+		SubmitTime: at, User: "edge", Machine: "ibmq_rome",
+		BatchSize: 20, Shots: 4096, CircuitName: "qft4",
+		Width: 4, TotalDepth: 400, TotalGateOps: 1200, CXTotal: 300, MemSlots: 4,
+	}
+}
+
+// TestDowntimeFaultWindowsAtExactJobStart: back-to-back downtime
+// windows whose first edge falls exactly on the instant a job would
+// start must displace the start across both windows — whether the
+// windows are planned maintenance or unplanned fault outages.
+func TestDowntimeFaultWindowsAtExactJobStart(t *testing.T) {
+	for _, asFault := range []bool{false, true} {
+		cfg := edgeConfig(7)
+		sess, err := Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms := sess.byName["ibmq_rome"]
+		submitAt := cfg.Start.Add(5 * 24 * time.Hour)
+		s := ms.toSec(submitAt)
+		// Two abutting windows, the first beginning exactly at the
+		// job's start instant (idle quiet machine: start == submit).
+		ms.downtimes = []dtWin{
+			{start: s, end: s + 600, fault: asFault},
+			{start: s + 600, end: s + 1800, fault: asFault},
+		}
+		if _, err := sess.Submit(edgeSpec(0, submitAt)); err != nil {
+			t.Fatal(err)
+		}
+		tr, err := sess.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tr.Jobs) != 1 {
+			t.Fatalf("fault=%v: got %d jobs, want 1", asFault, len(tr.Jobs))
+		}
+		j := tr.Jobs[0]
+		if j.Status != trace.StatusDone {
+			t.Fatalf("fault=%v: status %v, want DONE", asFault, j.Status)
+		}
+		want := ms.toTime(s + 1800)
+		if !j.StartTime.Equal(want) {
+			t.Fatalf("fault=%v: start %v, want %v (displaced across both windows)",
+				asFault, j.StartTime, want)
+		}
+	}
+}
+
+// TestCancelInsideDowntimeWindow: an explicit Cancel whose instant
+// falls inside a downtime window records the cancellation at that
+// instant. Cancellation is a queue operation, not an execution — the
+// machine being down must not displace it to the window's end.
+func TestCancelInsideDowntimeWindow(t *testing.T) {
+	cfg := edgeConfig(9)
+	sess, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := sess.byName["ibmq_rome"]
+	base := cfg.Start.Add(5 * 24 * time.Hour)
+	s := ms.toSec(base)
+
+	// Job A keeps the server busy well past the cancel instant, so B
+	// stays waiting in the queue when the Cancel lands.
+	a := edgeSpec(0, base)
+	a.BatchSize, a.Shots = 300, 8192
+	if _, err := sess.Submit(a); err != nil {
+		t.Fatal(err)
+	}
+	b := edgeSpec(1, base.Add(time.Minute))
+	hb, err := sess.Submit(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A downtime window that is underway at the cancel instant but
+	// starts after A (so A's start is not displaced).
+	ms.downtimes = []dtWin{{start: s + 90, end: s + 7200}}
+
+	cancelAt := base.Add(2 * time.Minute)
+	sess.AdvanceTo(cancelAt)
+	if st, _ := sess.JobStatus(hb); st != JobStateQueued {
+		t.Fatalf("B should be queued behind A at the cancel instant, state = %v", st)
+	}
+	if err := sess.Cancel(hb); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec *trace.Job
+	for _, j := range tr.Jobs {
+		if j.SubmitTime.Equal(b.SubmitTime) {
+			rec = j
+		}
+	}
+	if rec == nil {
+		t.Fatal("cancelled job missing from the trace")
+	}
+	if rec.Status != trace.StatusCancelled {
+		t.Fatalf("status %v, want CANCELLED", rec.Status)
+	}
+	if !rec.EndTime.Equal(cancelAt) {
+		t.Fatalf("cancellation recorded at %v, want the cancel instant %v (inside the window, undisplaced)",
+			rec.EndTime, cancelAt)
+	}
+}
+
+// TestCancelBeforeAdmissionInsideDowntime: cancelling a spec the
+// machine has not even admitted yet, at an instant covered by a
+// downtime window, records immediately at that instant.
+func TestCancelBeforeAdmissionInsideDowntime(t *testing.T) {
+	cfg := edgeConfig(11)
+	sess, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := sess.byName["ibmq_rome"]
+	submitAt := cfg.Start.Add(5 * 24 * time.Hour)
+	s := ms.toSec(submitAt)
+	ms.downtimes = []dtWin{{start: s - 600, end: s + 7200, fault: true}}
+	h, err := sess.Submit(edgeSpec(0, submitAt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Cancel(h); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := sess.JobStatus(h); st != JobStateFinished {
+		t.Fatalf("cancelled-before-admission job state = %v, want finished", st)
+	}
+	tr, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 1 || tr.Jobs[0].Status != trace.StatusCancelled {
+		t.Fatalf("want exactly one CANCELLED record, got %+v", tr.Jobs)
+	}
+	if !tr.Jobs[0].EndTime.Equal(submitAt) {
+		t.Fatalf("cancellation at %v, want %v (submit instant, inside the outage)",
+			tr.Jobs[0].EndTime, submitAt)
+	}
+}

@@ -8,9 +8,58 @@ import (
 	"time"
 
 	"qcloud/internal/backend"
+	"qcloud/internal/fault"
 	"qcloud/internal/stats"
 	"qcloud/internal/trace"
 )
+
+// countingSource wraps the machine RNG source and counts state steps.
+// Every Int63 or Uint64 call advances the underlying generator exactly
+// once, so the count alone pins the RNG state: a restored machine
+// replays construction (deterministic) and then fast-forwards the
+// source by the checkpointed draw count.
+type countingSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	return &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (c *countingSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.draws++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(s int64) { c.src.Seed(s) }
+
+// dtWin is one downtime window: a planned maintenance window from the
+// vendor calendar, or (fault=true) an unplanned outage from the fault
+// injector. Both displace starts identically; only planned windows are
+// visible to schedulers ahead of time.
+type dtWin struct {
+	start, end float64
+	fault      bool
+}
+
+// pendingRetry is a transiently-failed job waiting out its backoff: a
+// third arrival source (after the background stream and the study spec
+// stream) that re-enters the queue through the same enqueue path.
+type pendingRetry struct {
+	spec     *JobSpec // nil for background jobs
+	at       float64  // requeue instant (failure time + backoff)
+	execSec  float64
+	patience float64
+	user     string
+	id       int64
+	attempt  int
+}
 
 // machineSim is one machine's single-server fair-share queue as an
 // explicit, steppable state machine: the queue heap, background
@@ -30,6 +79,7 @@ type machineSim struct {
 	m      *backend.Machine
 	sess   *Session
 	r      *rand.Rand
+	rsrc   *countingSource // r's source; its draw count pins the RNG state
 	mstats *trace.MachineStats
 	jobs   []*trace.Job
 
@@ -39,8 +89,28 @@ type machineSim struct {
 	endSec   float64
 
 	bg        *backgroundStream
-	downtimes [][2]float64
+	downtimes []dtWin
 	dtIdx     int
+
+	// Fault-injection state: unplanned outage windows (also merged
+	// into downtimes), with the announcement cursor that emits
+	// machine-down/up events as the frontier crosses them; failure
+	// bursts and staleness waves with their own monotone cursors; and
+	// the submit-fault sequence number.
+	outages   []fault.Window
+	annIdx    int
+	annPhase  int // 0 = down not yet announced, 1 = up pending
+	bursts    []fault.Window
+	burstIdx  int
+	staleWins []fault.Window
+	staleIdx  int
+	submitSeq int64
+
+	// Retry state: the effective policy (nil = disabled), pending
+	// retries ordered by requeue instant, and per-user budget spent.
+	retry      *RetryPolicy
+	retries    []pendingRetry
+	retrySpent map[string]int
 
 	// Fair-share usage accounting, exponentially decayed.
 	usage     map[string]*float64
@@ -82,11 +152,13 @@ type machineSim struct {
 }
 
 func newMachineSim(cfg Config, m *backend.Machine, sess *Session) *machineSim {
+	src := newCountingSource(cfg.Seed*7919 + m.Seed)
 	ms := &machineSim{
 		cfg:         cfg,
 		m:           m,
 		sess:        sess,
-		r:           rand.New(rand.NewSource(cfg.Seed*7919 + m.Seed)),
+		r:           rand.New(src),
+		rsrc:        src,
 		mstats:      &trace.MachineStats{Name: m.Name, Qubits: m.NumQubits(), Public: m.Public},
 		simStart:    cfg.Start,
 		usage:       make(map[string]*float64),
@@ -113,8 +185,27 @@ func newMachineSim(cfg Config, m *backend.Machine, sess *Session) *machineSim {
 	ms.bg = newBackgroundStream(cfg.Background, m, ms.r,
 		ms.toSec(online), ms.toSec(offline),
 		ms.toSec(m.Online), ms.toSec(backend.StudyEnd))
-	ms.downtimes = genDowntimes(ms.r, ms.toSec(online), ms.toSec(offline))
+	for _, w := range genDowntimes(ms.r, ms.toSec(online), ms.toSec(offline)) {
+		ms.downtimes = append(ms.downtimes, dtWin{start: w[0], end: w[1]})
+	}
 	ms.endSec = ms.toSec(offline)
+	if cfg.Faults != nil {
+		// Unplanned outages join the displacement calendar (tagged so
+		// snapshots keep them invisible until begun); bursts and stale
+		// waves only modulate error rates. All three are pure functions
+		// of (seed, machine, epoch), independent of ms.r.
+		ms.outages = cfg.Faults.Outages(cfg.Seed, m.Seed, ms.toSec(online), ms.endSec)
+		for _, w := range ms.outages {
+			ms.downtimes = append(ms.downtimes, dtWin{start: w.Start, end: w.End, fault: true})
+		}
+		sort.Slice(ms.downtimes, func(i, j int) bool { return ms.downtimes[i].start < ms.downtimes[j].start })
+		ms.bursts = cfg.Faults.Bursts(cfg.Seed, m.Seed, ms.toSec(online), ms.endSec)
+		ms.staleWins = cfg.Faults.StaleWaves(cfg.Seed, m.Seed, ms.toSec(online), ms.endSec)
+	}
+	if cfg.Retry != nil {
+		ms.retry = cfg.Retry.withDefaults()
+		ms.retrySpent = make(map[string]int)
+	}
 	ms.sampleEvery = cfg.PendingSampleEvery.Seconds()
 	ms.nextSample = ms.toSec(online) + ms.sampleEvery
 	ms.busyUntil = ms.toSec(online)
@@ -135,6 +226,15 @@ func (ms *machineSim) submit(spec *JobSpec) (*JobHandle, error) {
 	if !ms.dead && (sec < ms.frontier || (sec == ms.frontier && ms.frontierInclusive)) {
 		return nil, fmt.Errorf("cloud: submit to %s at %s is behind the machine frontier %s",
 			ms.m.Name, spec.SubmitTime.Format(time.RFC3339), ms.toTime(ms.frontier).Format(time.RFC3339))
+	}
+	if f := ms.cfg.Faults; f != nil && f.SubmitErrorRate > 0 && !ms.dead {
+		// Transient submission failure: the cloud API rejects the call
+		// and the client retries. The decision hashes the per-machine
+		// attempt counter, so a resubmission is a fresh draw.
+		ms.submitSeq++
+		if fault.Decide(f.SubmitErrorRate, ms.cfg.Seed, ms.m.Seed, ms.submitSeq, 7) {
+			return nil, fmt.Errorf("%w: %s rejected attempt %d", ErrTransientSubmit, ms.m.Name, ms.submitSeq)
+		}
 	}
 	// Insert keeping SubmitTime order; equal times go after existing
 	// entries, so replaying the same arrival order reproduces the trace.
@@ -203,21 +303,72 @@ func (ms *machineSim) chargedUsage(user string, now float64) *float64 {
 func (ms *machineSim) enqueue(spec *JobSpec, submit, execSec, patience float64, user string) {
 	u := ms.chargedUsage(user, submit)
 	ms.seq++
-	q := &queuedJob{
+	ms.push(&queuedJob{
 		spec: spec, submit: submit, execSec: execSec, patience: patience,
 		priority: submit + fairSharePenalty*(*u), seq: ms.seq, userUsage: u,
+		user: user, id: ms.seq, pendingAtSubmit: len(ms.queue),
+	})
+}
+
+// requeue re-enters a transiently-failed job after its backoff: same
+// fair-share scoring as a fresh arrival (a retry queues like anyone
+// else — no priority boost), with the original job identity carried
+// through. Emits requeue then enqueue, keeping retry ≡ requeue and
+// enqueue ≡ start+cancel conservation.
+func (ms *machineSim) requeue(rt pendingRetry) {
+	u := ms.chargedUsage(rt.user, rt.at)
+	ms.seq++
+	q := &queuedJob{
+		spec: rt.spec, submit: rt.at, execSec: rt.execSec, patience: rt.patience,
+		priority: rt.at + fairSharePenalty*(*u), seq: ms.seq, userUsage: u,
+		user: rt.user, id: rt.id, attempt: rt.attempt,
 		pendingAtSubmit: len(ms.queue),
 	}
+	if ms.observed() {
+		ms.emit(Event{
+			Kind: EventRequeue, Machine: ms.m.Name, Time: ms.toTime(rt.at),
+			Background: rt.spec == nil, Pending: len(ms.queue),
+			Handle: ms.handles[rt.spec], Attempt: rt.attempt,
+		})
+	}
+	ms.push(q)
+}
+
+// push is the shared enqueue tail: heap insert, in-flight-step
+// accounting, and the enqueue event.
+func (ms *machineSim) push(q *queuedJob) {
 	ms.queue.push(q)
 	if ms.inStep {
 		ms.admittedDuringStep++
 	}
 	if ms.observed() {
 		ms.emit(Event{
-			Kind: EventEnqueue, Machine: ms.m.Name, Time: ms.toTime(submit),
-			Background: spec == nil, Pending: len(ms.queue), Handle: ms.handles[spec],
+			Kind: EventEnqueue, Machine: ms.m.Name, Time: ms.toTime(q.submit),
+			Background: q.spec == nil, Pending: len(ms.queue),
+			Handle: ms.handles[q.spec], Attempt: q.attempt,
 		})
 	}
+}
+
+// scheduleRetry inserts a pending retry keeping (at, id) order, so
+// admission order is deterministic even when backoffs collide.
+func (ms *machineSim) scheduleRetry(rt pendingRetry) {
+	i := sort.Search(len(ms.retries), func(k int) bool {
+		if ms.retries[k].at != rt.at {
+			return ms.retries[k].at > rt.at
+		}
+		return ms.retries[k].id > rt.id
+	})
+	ms.retries = append(ms.retries, pendingRetry{})
+	copy(ms.retries[i+1:], ms.retries[i:])
+	ms.retries[i] = rt
+}
+
+func (ms *machineSim) nextRetryTime() (float64, bool) {
+	if len(ms.retries) == 0 {
+		return 0, false
+	}
+	return ms.retries[0].at, true
 }
 
 func (ms *machineSim) nextSpecTime() (float64, bool) {
@@ -232,22 +383,32 @@ func (ms *machineSim) nextSpecTime() (float64, bool) {
 	return ms.toSec(s.SubmitTime), true
 }
 
-// admitArrivals pulls every arrival (study + background) with submit
-// time <= horizon — or strictly < horizon when strict, the partial
-// admission an in-flight step uses so arrivals at the observation
-// instant itself stay unconsumed — into the queue.
+// admitArrivals pulls every arrival (retry + study + background) with
+// submit time <= horizon — or strictly < horizon when strict, the
+// partial admission an in-flight step uses so arrivals at the
+// observation instant itself stay unconsumed — into the queue. Retries
+// win ties (they consume no RNG draws, so admitting them first keeps
+// the draw order independent of retry timing), then background, then
+// study specs, matching the batch loop's order.
 func (ms *machineSim) admitArrivals(horizon float64, strict bool) {
 	for {
 		bgT, bgOK := ms.bg.peek()
 		spT, spOK := ms.nextSpecTime()
+		rtT, rtOK := ms.nextRetryTime()
 		if strict {
 			bgOK = bgOK && bgT < horizon
 			spOK = spOK && spT < horizon
+			rtOK = rtOK && rtT < horizon
 		} else {
 			bgOK = bgOK && bgT <= horizon
 			spOK = spOK && spT <= horizon
+			rtOK = rtOK && rtT <= horizon
 		}
 		switch {
+		case rtOK && (!bgOK || rtT <= bgT) && (!spOK || rtT <= spT):
+			rt := ms.retries[0]
+			ms.retries = ms.retries[1:]
+			ms.requeue(rt)
 		case bgOK && (!spOK || bgT <= spT):
 			ms.bg.next()
 			execSec := ms.bg.sampleExecSeconds(ms.r)
@@ -280,26 +441,66 @@ func (ms *machineSim) samplePending(now float64, pending int) {
 	}
 }
 
-// afterDowntime displaces a start time past any maintenance windows it
-// lands in. Start times are monotone (the server is serial), so a
-// moving index applies the displacement in O(1) amortized. Back-to-back
-// windows displace a start repeatedly until it lands in uptime.
+// afterDowntime displaces a start time past any downtime windows it
+// lands in — planned maintenance and unplanned fault outages alike.
+// Start times are monotone (the server is serial), so a moving index
+// applies the displacement in O(1) amortized. Back-to-back (or
+// overlapping, once outages join the calendar) windows displace a
+// start repeatedly until it lands in uptime. Planned windows emit
+// EventDowntime; outage visibility comes from the machine-down/up
+// announcements instead.
 func (ms *machineSim) afterDowntime(t float64) float64 {
-	for ms.dtIdx < len(ms.downtimes) && t >= ms.downtimes[ms.dtIdx][1] {
+	for ms.dtIdx < len(ms.downtimes) && t >= ms.downtimes[ms.dtIdx].end {
 		ms.dtIdx++
 	}
-	for ms.dtIdx < len(ms.downtimes) && t >= ms.downtimes[ms.dtIdx][0] {
+	for ms.dtIdx < len(ms.downtimes) && t >= ms.downtimes[ms.dtIdx].start {
 		win := ms.downtimes[ms.dtIdx]
-		t = win[1]
+		if win.end > t {
+			t = win.end
+		}
 		ms.dtIdx++
-		if ms.observed() {
+		if !win.fault && ms.observed() {
 			ms.emit(Event{
-				Kind: EventDowntime, Machine: ms.m.Name, Time: ms.toTime(win[0]),
-				Downtime: [2]time.Time{ms.toTime(win[0]), ms.toTime(win[1])},
+				Kind: EventDowntime, Machine: ms.m.Name, Time: ms.toTime(win.start),
+				Downtime: [2]time.Time{ms.toTime(win.start), ms.toTime(win.end)},
 			})
 		}
 	}
 	return t
+}
+
+// announceFaults emits machine-down/up events for every outage
+// boundary the frontier has crossed. The cursor advances whether or
+// not anyone observes, so attaching an observer mid-run simply misses
+// history instead of replaying it.
+func (ms *machineSim) announceFaults() {
+	f := ms.frontier
+	for ms.annIdx < len(ms.outages) {
+		w := ms.outages[ms.annIdx]
+		if ms.annPhase == 0 {
+			if w.Start > f {
+				return
+			}
+			if ms.observed() {
+				ms.emit(Event{
+					Kind: EventMachineDown, Machine: ms.m.Name, Time: ms.toTime(w.Start),
+					Downtime: [2]time.Time{ms.toTime(w.Start), ms.toTime(w.End)},
+				})
+			}
+			ms.annPhase = 1
+		}
+		if w.End > f {
+			return
+		}
+		if ms.observed() {
+			ms.emit(Event{
+				Kind: EventMachineUp, Machine: ms.m.Name, Time: ms.toTime(w.End),
+				Downtime: [2]time.Time{ms.toTime(w.Start), ms.toTime(w.End)},
+			})
+		}
+		ms.annPhase = 0
+		ms.annIdx++
+	}
 }
 
 // record appends the spec's trace record and emits its terminal event.
@@ -389,22 +590,50 @@ func (ms *machineSim) startNext() {
 		return
 	}
 	// Wait-prediction calibration sample (subsampled; background jobs
-	// only, with a non-empty queue at submission).
-	if q.spec == nil && q.pendingAtSubmit > 0 && q.seq%13 == 0 {
+	// only, on their first attempt, with a non-empty queue at
+	// submission — a requeued job's wait says nothing about fresh
+	// arrivals).
+	if q.spec == nil && q.attempt == 0 && q.pendingAtSubmit > 0 && q.seq%13 == 0 {
 		ratio := (start - q.submit) / (float64(q.pendingAtSubmit) * ms.bg.meanExec)
 		ms.waitRatios = append(ms.waitRatios, ratio)
 	}
 	status := trace.StatusDone
 	execSec := q.execSec
-	if ms.r.Float64() < ms.cfg.ErrorRate {
+	errRate := ms.cfg.ErrorRate
+	if len(ms.staleWins) > 0 {
+		// Calibration-staleness wave: jobs started inside it error at a
+		// multiple of the base rate. The single RNG draw below stays in
+		// its usual position — only the threshold moves — so the draw
+		// sequence is unchanged whether or not a wave is active.
+		if _, in := fault.At(ms.staleWins, &ms.staleIdx, start); in {
+			errRate = math.Min(errRate*ms.cfg.Faults.StaleErrorFactor, 1)
+		}
+	}
+	if ms.r.Float64() < errRate {
 		status = trace.StatusError
 		execSec *= 0.5 // errored jobs die partway through
+	}
+	if status == trace.StatusDone && ms.cfg.Faults != nil {
+		// Transient backend fault, decided on its own stateless hash
+		// stream (no machine-RNG draw): retryable, unlike the job-level
+		// error above.
+		tRate := ms.cfg.Faults.TransientErrorRate
+		if len(ms.bursts) > 0 {
+			if _, in := fault.At(ms.bursts, &ms.burstIdx, start); in {
+				tRate = ms.cfg.Faults.BurstErrorRate
+			}
+		}
+		if fault.Decide(tRate, ms.cfg.Seed, ms.m.Seed, q.id, int64(q.attempt), 3) {
+			ms.startTransientFail(q, start)
+			return
+		}
 	}
 	end := start + execSec
 	if ms.observed() {
 		ms.emit(Event{
 			Kind: EventStart, Machine: ms.m.Name, Time: ms.toTime(start),
 			Background: q.spec == nil, Pending: len(ms.queue), Handle: ms.handles[q.spec],
+			Attempt: q.attempt,
 		})
 	}
 	if q.spec != nil {
@@ -423,11 +652,76 @@ func (ms *machineSim) startNext() {
 	ms.admittedDuringStep = 0
 }
 
+// startTransientFail serves a start attempt that dies to a transient
+// backend fault a quarter of the way through: the burnt machine time
+// is charged like any other execution, and the job either schedules a
+// retry after its backoff (emitting retry, balanced later by a
+// requeue) or records a terminal error when the policy is exhausted.
+// The failure occupies a normal busy step, preserving the
+// start ≡ done+error+retry conservation law.
+func (ms *machineSim) startTransientFail(q *queuedJob, start float64) {
+	burnt := 0.25 * q.execSec
+	failT := start + burnt
+	if ms.observed() {
+		ms.emit(Event{
+			Kind: EventStart, Machine: ms.m.Name, Time: ms.toTime(start),
+			Background: q.spec == nil, Pending: len(ms.queue), Handle: ms.handles[q.spec],
+			Attempt: q.attempt,
+		})
+	}
+	retryable := ms.retry != nil && q.attempt+1 < ms.retry.MaxAttempts
+	if retryable && ms.retry.BudgetPerUser > 0 && ms.retrySpent[q.user] >= ms.retry.BudgetPerUser {
+		retryable = false
+	}
+	var retryAt float64
+	if retryable {
+		retryAt = failT + ms.retry.backoffSec(q.attempt+1, ms.cfg.Seed, ms.m.Seed, q.id)
+		// A retry that cannot re-enter the window would orphan its
+		// retry event (no requeue could balance it): fail terminally
+		// instead, so finalize always drains the retry list.
+		retryable = retryAt < ms.endSec
+	}
+	switch {
+	case retryable:
+		if ms.retry.BudgetPerUser > 0 {
+			ms.retrySpent[q.user]++
+		}
+		ms.scheduleRetry(pendingRetry{
+			spec: q.spec, at: retryAt, execSec: q.execSec, patience: q.patience,
+			user: q.user, id: q.id, attempt: q.attempt + 1,
+		})
+		if ms.observed() {
+			ms.emit(Event{
+				Kind: EventRetry, Machine: ms.m.Name, Time: ms.toTime(failT),
+				Background: q.spec == nil, Pending: len(ms.queue), Handle: ms.handles[q.spec],
+				Attempt: q.attempt + 1, NextAttemptAt: ms.toTime(retryAt),
+			})
+		}
+	case q.spec != nil:
+		ms.recordStudy(q, start, failT, trace.StatusError)
+	default:
+		if ms.observed() {
+			ms.emit(Event{
+				Kind: EventError, Machine: ms.m.Name, Time: ms.toTime(failT),
+				Background: true, Pending: len(ms.queue),
+			})
+		}
+	}
+	*q.userUsage += burnt
+	ms.busyUntil = failT
+	ms.inStep = true
+	ms.stepEndsAt = failT
+	ms.admittedDuringStep = 0
+}
+
 func (ms *machineSim) setFrontier(f float64, inclusive bool) {
 	if f > ms.frontier {
 		ms.frontier, ms.frontierInclusive = f, inclusive
 	} else if f == ms.frontier && inclusive {
 		ms.frontierInclusive = true
+	}
+	if len(ms.outages) > 0 {
+		ms.announceFaults()
 	}
 }
 
@@ -462,19 +756,27 @@ func (ms *machineSim) advanceTo(t float64) {
 			ms.startNext()
 			continue
 		}
-		// Idle: jump to the next arrival.
+		// Idle: jump to the next arrival (background, study spec, or a
+		// retry coming off its backoff).
 		bgT, bgOK := ms.bg.peek()
 		spT, spOK := ms.nextSpecTime()
-		if !bgOK && !spOK {
+		rtT, rtOK := ms.nextRetryTime()
+		if !bgOK && !spOK && !rtOK {
 			ms.setFrontier(t, false)
 			if math.IsInf(t, 1) {
 				ms.finished = true
 			}
 			return
 		}
-		next := spT
-		if bgOK && (!spOK || bgT <= spT) {
+		next := math.Inf(1)
+		if bgOK {
 			next = bgT
+		}
+		if spOK && spT < next {
+			next = spT
+		}
+		if rtOK && rtT < next {
+			next = rtT
 		}
 		if next >= ms.endSec {
 			// Nothing more can start inside the window; remaining
@@ -555,23 +857,57 @@ func (ms *machineSim) snapshot() QueueSnapshot {
 	// Maintenance windows the backlog must ride out: walk the calendar
 	// from the cursor, pushing the projected completion across every
 	// window it overlaps (a window in progress counts its remainder).
+	// Unplanned fault outages are skipped — the vendor's calendar does
+	// not know about them, and leaking future outages here would hand
+	// schedulers an oracle.
 	c := f + snap.BacklogSeconds
 	if ms.busyUntil > f {
 		c += ms.busyUntil - f
 	}
 	for _, w := range ms.downtimes[ms.dtIdx:] {
-		if w[1] <= f {
+		if w.fault || w.end <= f {
 			continue
 		}
-		if w[0] >= c {
+		if w.start >= c {
 			break
 		}
-		dur := w[1] - math.Max(w[0], f)
+		dur := w.end - math.Max(w.start, f)
 		snap.DowntimeSeconds += dur
 		c += dur
 	}
+	// An outage in progress at the frontier IS visible: the machine is
+	// observably down right now, even though future outages are not.
+	snap.Down = fault.Covers(ms.outages, f)
 	snap.MeanExecSeconds = ms.bg.meanExec
 	return snap
+}
+
+// jobState reports where a submitted spec currently stands.
+func (ms *machineSim) jobState(spec *JobSpec) JobState {
+	if ms.dead || ms.recorded[spec] {
+		return JobStateFinished
+	}
+	if _, ok := ms.cancelledAt[spec]; ok {
+		return JobStateWithdrawn
+	}
+	for i := ms.specIdx; i < len(ms.specs); i++ {
+		if ms.specs[i] == spec {
+			return JobStatePending
+		}
+	}
+	for _, q := range ms.queue {
+		if q.spec == spec {
+			return JobStateQueued
+		}
+	}
+	for _, rt := range ms.retries {
+		if rt.spec == spec {
+			return JobStateQueued
+		}
+	}
+	// Admitted specs are queued, retrying, or recorded the moment they
+	// are served; nothing else remains.
+	return JobStateFinished
 }
 
 func (ms *machineSim) observed() bool { return ms.sess != nil && ms.sess.hasObs.Load() }

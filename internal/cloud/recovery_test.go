@@ -1,0 +1,464 @@
+package cloud_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"qcloud/internal/cloud"
+	"qcloud/internal/fault"
+	"qcloud/internal/workload"
+)
+
+// chaosProfile is an aggressive fault scenario: frequent outages,
+// elevated transient rates, bursts, staleness waves and flaky submits
+// all at once, so every injector path is exercised in one run.
+func chaosProfile() *fault.Profile {
+	return &fault.Profile{
+		OutageMeanGapDays:  6,
+		OutageMeanHours:    8,
+		OutageMaxHours:     36,
+		TransientErrorRate: 0.08,
+		BurstMeanGapDays:   10,
+		BurstMeanHours:     5,
+		BurstErrorRate:     0.6,
+		StaleMeanGapDays:   8,
+		StaleMeanHours:     12,
+		StaleErrorFactor:   5,
+		SubmitErrorRate:    0.02,
+	}
+}
+
+func chaosRetry() *cloud.RetryPolicy {
+	return &cloud.RetryPolicy{
+		MaxAttempts: 4,
+		BaseBackoff: 2 * time.Minute,
+		MaxBackoff:  45 * time.Minute,
+		JitterFrac:  0.3,
+	}
+}
+
+func faultConfig(seed int64, workers int) cloud.Config {
+	return cloud.Config{
+		Seed: seed, Start: sessWindow.start, End: sessWindow.end,
+		Machines: sessMachines(), Workers: workers,
+		Faults: chaosProfile(), Retry: chaosRetry(),
+	}
+}
+
+func faultSpecs(seed int64) []*cloud.JobSpec {
+	return workload.Generate(workload.Config{
+		Seed: seed, TotalJobs: 250,
+		Start: sessWindow.start, End: sessWindow.end,
+		Machines: sessMachines(),
+	})
+}
+
+// TestFaultTraceBitIdenticalAcrossWorkers: with the full chaos profile
+// enabled, the trace is still a pure function of the seed — serial and
+// 4-worker runs hash identically, and the batch Simulate wrapper
+// agrees with a hand-driven session.
+func TestFaultTraceBitIdenticalAcrossWorkers(t *testing.T) {
+	for _, seed := range []int64{3, 11, 27} {
+		specs := faultSpecs(seed)
+		var want []byte
+		for _, workers := range []int{1, 4} {
+			cfg := faultConfig(seed, workers)
+			tr, err := cloud.Simulate(cfg, specs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := traceJSON(t, tr)
+			if want == nil {
+				want = got
+			} else if !bytes.Equal(got, want) {
+				t.Fatalf("seed %d: faulted trace differs between worker counts", seed)
+			}
+		}
+		// A faulted fleet must actually look different from a calm one,
+		// or the injector is wired to nothing.
+		calm, err := cloud.Simulate(cloud.Config{
+			Seed: seed, Start: sessWindow.start, End: sessWindow.end,
+			Machines: sessMachines(),
+		}, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(traceJSON(t, calm), want) {
+			t.Fatalf("seed %d: fault injection changed nothing", seed)
+		}
+	}
+}
+
+// TestCheckpointRestoreRecoveryReplay is the crash-replay property:
+// killing a faulted session at an arbitrary AdvanceTo frontier,
+// serializing its checkpoint through the codec, and restoring into a
+// fresh session (at a different worker count) reproduces the
+// uninterrupted run's trace byte-for-byte.
+func TestCheckpointRestoreRecoveryReplay(t *testing.T) {
+	const seed = 17
+	specs := faultSpecs(seed)
+	golden := func() []byte {
+		tr, err := cloud.Simulate(faultConfig(seed, 1), specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return traceJSON(t, tr)
+	}()
+
+	windowLen := sessWindow.end.Sub(sessWindow.start)
+	for _, frac := range []float64{0.2, 0.5, 0.8} {
+		frontier := sessWindow.start.Add(time.Duration(float64(windowLen) * frac))
+		sess, err := cloud.Open(faultConfig(seed, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range specs {
+			if _, err := sess.SubmitRetried(s, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sess.AdvanceTo(frontier)
+		ck, err := sess.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The "crash": the original session is abandoned. The snapshot
+		// round-trips through its serialized bytes.
+		if err := sess.Close(); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := cloud.WriteCheckpoint(&buf, ck); err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := cloud.ReadCheckpoint(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored, err := cloud.Restore(faultConfig(seed, 4), decoded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := restored.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(traceJSON(t, tr), golden) {
+			t.Fatalf("restore at %.0f%% of the window diverged from the uninterrupted run", frac*100)
+		}
+	}
+}
+
+// TestCheckpointChainedRecovery kills and restores the same run twice
+// (checkpoint → restore → advance → checkpoint → restore), proving
+// snapshots compose: a restored session is as checkpointable as the
+// original.
+func TestCheckpointChainedRecovery(t *testing.T) {
+	const seed = 5
+	specs := faultSpecs(seed)
+	golden := func() []byte {
+		tr, err := cloud.Simulate(faultConfig(seed, 1), specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return traceJSON(t, tr)
+	}()
+
+	sess, err := cloud.Open(faultConfig(seed, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range specs {
+		if _, err := sess.SubmitRetried(s, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	roundTrip := func(s *cloud.Session, workers int) *cloud.Session {
+		t.Helper()
+		ck, err := s.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := cloud.WriteCheckpoint(&buf, ck); err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := cloud.ReadCheckpoint(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored, err := cloud.Restore(faultConfig(seed, workers), decoded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return restored
+	}
+	sess.AdvanceTo(sessWindow.start.AddDate(0, 0, 13))
+	sess = roundTrip(sess, 4)
+	sess.AdvanceTo(sessWindow.start.AddDate(0, 0, 41))
+	sess = roundTrip(sess, 2)
+	tr, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(traceJSON(t, tr), golden) {
+		t.Fatal("doubly-restored run diverged from the uninterrupted run")
+	}
+}
+
+// TestCheckpointRestoreValidation pins the guard rails: a checkpoint
+// only restores into the configuration it was taken under.
+func TestCheckpointRestoreValidation(t *testing.T) {
+	sess, err := cloud.Open(faultConfig(23, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	ck, err := sess.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := faultConfig(24, 1)
+	if _, err := cloud.Restore(bad, ck); err == nil {
+		t.Fatal("restore with a different seed should fail")
+	}
+	noFaults := faultConfig(23, 1)
+	noFaults.Faults = nil
+	if _, err := cloud.Restore(noFaults, ck); err == nil {
+		t.Fatal("restore without the fault profile should fail")
+	}
+	otherRetry := faultConfig(23, 1)
+	otherRetry.Retry = &cloud.RetryPolicy{MaxAttempts: 9}
+	if _, err := cloud.Restore(otherRetry, ck); err == nil {
+		t.Fatal("restore with a different retry policy should fail")
+	}
+	if _, err := cloud.Restore(faultConfig(23, 1), ck); err != nil {
+		t.Fatalf("restore with the original config failed: %v", err)
+	}
+	// A closed session cannot be checkpointed.
+	done, err := cloud.Open(faultConfig(23, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := done.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := done.Checkpoint(); err != cloud.ErrSessionClosed {
+		t.Fatalf("checkpoint after close: err = %v, want ErrSessionClosed", err)
+	}
+}
+
+// TestRetryBackoffRecoveryProperty drives a flaky single-machine fleet
+// and checks the retry policy's promises against the event stream:
+// per-job attempts stay within MaxAttempts, every announced backoff
+// respects the cap, the per-user retry budget holds, and the extended
+// conservation laws (enqueue ≡ start+cancel, start ≡ done+error+retry,
+// retry ≡ requeue) balance exactly.
+func TestRetryBackoffRecoveryProperty(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		cfg := quietConfig(seed, "ibmq_rome")
+		cfg.Faults = &fault.Profile{TransientErrorRate: 0.45}
+		policy := &cloud.RetryPolicy{
+			MaxAttempts: 3,
+			BaseBackoff: 5 * time.Minute,
+			MaxBackoff:  20 * time.Minute,
+			JitterFrac:  0.4,
+			// All study jobs below share one user, so the budget is a
+			// hard global cap in this scenario.
+			BudgetPerUser: 12,
+		}
+		cfg.Retry = policy
+		sess, err := cloud.Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events, err := sess.Observe(cloud.EventFilter{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := sessWindow.start.Add(24 * time.Hour)
+		const n = 160
+		for i := 0; i < n; i++ {
+			s := quietSpec(i, "ibmq_rome", base.Add(time.Duration(i)*4*time.Hour))
+			s.User = "u-budget"
+			if _, err := sess.SubmitRetried(s, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := sess.Run(); err != nil {
+			t.Fatal(err)
+		}
+		counts := make(map[cloud.EventKind]int)
+		attempts := make(map[*cloud.JobHandle]int)
+		maxDelay := time.Duration(float64(policy.MaxBackoff))
+		for ev := range events {
+			counts[ev.Kind]++
+			switch ev.Kind {
+			case cloud.EventRetry:
+				if ev.Handle != nil {
+					attempts[ev.Handle]++
+				}
+				delay := ev.NextAttemptAt.Sub(ev.Time)
+				if delay <= 0 || delay > maxDelay+time.Second {
+					t.Fatalf("seed %d: retry backoff %v violates (0, %v]", seed, delay, maxDelay)
+				}
+				if ev.Attempt < 1 || ev.Attempt >= policy.MaxAttempts {
+					t.Fatalf("seed %d: retry announced attempt %d outside [1, %d)", seed, ev.Attempt, policy.MaxAttempts)
+				}
+			case cloud.EventStart:
+				if ev.Attempt >= policy.MaxAttempts {
+					t.Fatalf("seed %d: start attempt %d exceeds budget %d", seed, ev.Attempt, policy.MaxAttempts)
+				}
+			}
+		}
+		if counts[cloud.EventRetry] == 0 {
+			t.Fatalf("seed %d: flaky fleet produced no retries; scenario too tame to test anything", seed)
+		}
+		for h, k := range attempts {
+			if k > policy.MaxAttempts-1 {
+				t.Fatalf("seed %d: job %s retried %d times, budget is %d attempts total",
+					seed, h.Spec().User, k, policy.MaxAttempts)
+			}
+		}
+		if counts[cloud.EventRetry] > policy.BudgetPerUser {
+			t.Fatalf("seed %d: %d retries charged to one user, budget is %d",
+				seed, counts[cloud.EventRetry], policy.BudgetPerUser)
+		}
+		if counts[cloud.EventRequeue] != counts[cloud.EventRetry] {
+			t.Fatalf("seed %d: retry ≡ requeue broken: %d retries, %d requeues",
+				seed, counts[cloud.EventRetry], counts[cloud.EventRequeue])
+		}
+		if got, want := counts[cloud.EventEnqueue], counts[cloud.EventStart]+counts[cloud.EventCancel]; got != want {
+			t.Fatalf("seed %d: enqueue ≡ start+cancel broken: %d vs %d", seed, got, want)
+		}
+		if got, want := counts[cloud.EventStart], counts[cloud.EventDone]+counts[cloud.EventError]+counts[cloud.EventRetry]; got != want {
+			t.Fatalf("seed %d: start ≡ done+error+retry broken: %d vs %d", seed, got, want)
+		}
+	}
+}
+
+// TestFaultOutageEventsConservation runs the full chaos profile with
+// an observer attached and checks machine-down/up pairing plus the
+// conservation laws under every fault mechanism at once.
+func TestFaultOutageEventsConservation(t *testing.T) {
+	cfg := faultConfig(31, 2)
+	sess, err := cloud.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := sess.Observe(cloud.EventFilter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range faultSpecs(31) {
+		if _, err := sess.SubmitRetried(s, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[cloud.EventKind]int)
+	downs := make(map[string]int)
+	ups := make(map[string]int)
+	for ev := range events {
+		counts[ev.Kind]++
+		switch ev.Kind {
+		case cloud.EventMachineDown:
+			downs[ev.Machine]++
+			if !ev.Downtime[1].After(ev.Downtime[0]) {
+				t.Fatalf("empty outage window on %s", ev.Machine)
+			}
+		case cloud.EventMachineUp:
+			ups[ev.Machine]++
+		}
+	}
+	if counts[cloud.EventMachineDown] == 0 {
+		t.Fatal("chaos profile produced no outages")
+	}
+	for m, d := range downs {
+		if ups[m] != d {
+			t.Fatalf("machine %s: %d downs vs %d ups (finalize must announce every boundary)", m, d, ups[m])
+		}
+	}
+	if got, want := counts[cloud.EventEnqueue], counts[cloud.EventStart]+counts[cloud.EventCancel]; got != want {
+		t.Fatalf("enqueue ≡ start+cancel broken under chaos: %d vs %d", got, want)
+	}
+	if got, want := counts[cloud.EventStart], counts[cloud.EventDone]+counts[cloud.EventError]+counts[cloud.EventRetry]; got != want {
+		t.Fatalf("start ≡ done+error+retry broken under chaos: %d vs %d", got, want)
+	}
+	if counts[cloud.EventRequeue] != counts[cloud.EventRetry] {
+		t.Fatalf("retry ≡ requeue broken under chaos: %d vs %d", counts[cloud.EventRetry], counts[cloud.EventRequeue])
+	}
+}
+
+// TestSessionCloseHardened pins the close-twice and use-after-close
+// semantics: sentinel errors everywhere, no panics on the cond-pumped
+// observer buffers.
+func TestSessionCloseHardened(t *testing.T) {
+	sess, err := cloud.Open(quietConfig(2, "ibmq_rome"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := sess.Observe(cloud.EventFilter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := sess.Close(); err != cloud.ErrSessionClosed {
+		t.Fatalf("second close: err = %v, want ErrSessionClosed", err)
+	}
+	if _, ok := <-events; ok {
+		t.Fatal("observer channel should drain and close after Close")
+	}
+	if _, err := sess.Observe(cloud.EventFilter{}); err != cloud.ErrSessionClosed {
+		t.Fatalf("observe after close: err = %v, want ErrSessionClosed", err)
+	}
+	if _, err := sess.Submit(quietSpec(0, "ibmq_rome", sessWindow.start)); err != cloud.ErrSessionClosed {
+		t.Fatalf("submit after close: err = %v, want ErrSessionClosed", err)
+	}
+	if _, err := sess.Run(); err != cloud.ErrSessionClosed {
+		t.Fatalf("run after close: err = %v, want ErrSessionClosed", err)
+	}
+}
+
+// TestEventFilterEmptyVsNil pins the satellite fix: a nil Kinds slice
+// subscribes to everything, an explicitly empty one to nothing.
+func TestEventFilterEmptyVsNil(t *testing.T) {
+	run := func(f cloud.EventFilter) int {
+		sess, err := cloud.Open(quietConfig(3, "ibmq_rome"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		events, err := sess.Observe(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := sessWindow.start.Add(24 * time.Hour)
+		for i := 0; i < 10; i++ {
+			if _, err := sess.Submit(quietSpec(i, "ibmq_rome", base.Add(time.Duration(i)*time.Hour))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := sess.Run(); err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for range events {
+			n++
+		}
+		return n
+	}
+	if n := run(cloud.EventFilter{Kinds: nil}); n == 0 {
+		t.Fatal("nil Kinds must subscribe to every kind")
+	}
+	if n := run(cloud.EventFilter{Kinds: []cloud.EventKind{}}); n != 0 {
+		t.Fatalf("empty non-nil Kinds matched %d events, want none", n)
+	}
+	if n := run(cloud.EventFilter{Machines: []string{}}); n != 0 {
+		t.Fatalf("empty non-nil Machines matched %d events, want none", n)
+	}
+}

@@ -1,6 +1,7 @@
 package cloud
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -31,6 +32,16 @@ const (
 	EventDowntime EventKind = "downtime"
 	// EventPendingSample fires at each queue-length sampling point.
 	EventPendingSample EventKind = "pending-sample"
+	// EventMachineDown / EventMachineUp bracket an unplanned fault
+	// outage as the machine's frontier crosses its boundaries. Unlike
+	// planned maintenance, outages are invisible until they begin.
+	EventMachineDown EventKind = "machine-down"
+	EventMachineUp   EventKind = "machine-up"
+	// EventRetry fires when a transiently-failed job is scheduled for
+	// another attempt; every retry is balanced by a later EventRequeue
+	// when the job re-enters the queue after its backoff.
+	EventRetry   EventKind = "retry"
+	EventRequeue EventKind = "requeue"
 )
 
 // Event is one observation from the simulated cloud's lifecycle stream.
@@ -49,16 +60,27 @@ type Event struct {
 	// Handle identifies the study job for enqueue/start/terminal
 	// events (nil for background jobs).
 	Handle *JobHandle
-	// Downtime is the maintenance window for downtime events.
+	// Downtime is the window for downtime and machine-down/up events.
 	Downtime [2]time.Time
+	// Attempt is the execution attempt the event belongs to (0 = first
+	// try; for retry/requeue events, the upcoming attempt).
+	Attempt int
+	// NextAttemptAt is when a retry re-enters the queue (retry events
+	// only).
+	NextAttemptAt time.Time
 }
 
-// EventFilter selects which events an observer receives. Zero-value
-// fields mean "everything".
+// EventFilter selects which events an observer receives. Nil slices
+// mean "everything"; an explicitly empty (non-nil) slice matches
+// nothing. The distinction matters to callers that build filters
+// programmatically: appending zero kinds to an allocated slice must
+// not silently subscribe to the whole stream.
 type EventFilter struct {
-	// Machines restricts to the named backends (nil = all).
+	// Machines restricts to the named backends (nil = all machines,
+	// empty non-nil = none).
 	Machines []string
-	// Kinds restricts to the listed kinds (nil = all).
+	// Kinds restricts to the listed kinds (nil = all kinds, empty
+	// non-nil = none).
 	Kinds []EventKind
 	// StudyOnly drops background-population events.
 	StudyOnly bool
@@ -104,6 +126,11 @@ type QueueSnapshot struct {
 	DowntimeSeconds float64
 	// MeanExecSeconds is the machine's mean background service time.
 	MeanExecSeconds float64
+	// Down reports an unplanned fault outage in progress at the
+	// frontier. Only an outage already underway is visible — future
+	// outages never leak into snapshots, unlike the planned calendar
+	// in DowntimeSeconds.
+	Down bool
 }
 
 // EstimatedWaitSeconds predicts the queue wait a job submitted at the
@@ -156,10 +183,12 @@ func Open(cfg Config) (*Session, error) {
 // Submit enters a study job into its machine's arrival stream. It is
 // valid mid-run: the job may be submitted any time before the session
 // has advanced past its submit instant, and the resulting trace is
-// identical to one where the job was present from the start.
+// identical to one where the job was present from the start. With
+// fault injection enabled, Submit can fail with ErrTransientSubmit —
+// a retryable API-level rejection; see SubmitRetried.
 func (s *Session) Submit(spec *JobSpec) (*JobHandle, error) {
 	if s.closed {
-		return nil, errSessionClosed
+		return nil, ErrSessionClosed
 	}
 	ms := s.byName[spec.Machine]
 	if ms == nil {
@@ -168,12 +197,60 @@ func (s *Session) Submit(spec *JobSpec) (*JobHandle, error) {
 	return ms.submit(spec)
 }
 
+// SubmitRetried submits like Submit but re-attempts transient
+// API-level rejections up to maxAttempts times (<=0 means a generous
+// default of 8). Each attempt is a fresh deterministic decision, so
+// callers that always use SubmitRetried see the same admission
+// sequence at any worker count. Non-transient errors fail immediately.
+func (s *Session) SubmitRetried(spec *JobSpec, maxAttempts int) (*JobHandle, error) {
+	if maxAttempts <= 0 {
+		maxAttempts = 8
+	}
+	var err error
+	for i := 0; i < maxAttempts; i++ {
+		var h *JobHandle
+		if h, err = s.Submit(spec); err == nil || !errors.Is(err, ErrTransientSubmit) {
+			return h, err
+		}
+	}
+	return nil, err
+}
+
+// JobState is the lifecycle position JobStatus reports.
+type JobState string
+
+// Job lifecycle states.
+const (
+	// JobStatePending: submitted but not yet admitted into the queue.
+	JobStatePending JobState = "pending"
+	// JobStateQueued: in the machine queue, or waiting out a retry
+	// backoff.
+	JobStateQueued JobState = "queued"
+	// JobStateWithdrawn: cancelled by the caller, record still pending.
+	JobStateWithdrawn JobState = "withdrawn"
+	// JobStateFinished: a terminal trace record exists.
+	JobStateFinished JobState = "finished"
+)
+
+// JobStatus reports where a submitted job currently stands at its
+// machine's frontier — what a reactive scheduler polls before deciding
+// whether a job is still worth re-placing.
+func (s *Session) JobStatus(h *JobHandle) (JobState, error) {
+	if s.closed {
+		return "", ErrSessionClosed
+	}
+	if h == nil || h.sess != s {
+		return "", fmt.Errorf("cloud: handle does not belong to this session")
+	}
+	return s.byName[h.machine].jobState(h.spec), nil
+}
+
 // Cancel withdraws a submitted job that has not finished; it is
 // recorded as CANCELLED at the machine's current frontier (or its
 // submit instant, if that is later).
 func (s *Session) Cancel(h *JobHandle) error {
 	if s.closed {
-		return errSessionClosed
+		return ErrSessionClosed
 	}
 	if h == nil || h.sess != s {
 		return fmt.Errorf("cloud: handle does not belong to this session")
@@ -214,8 +291,9 @@ func (s *Session) QueueState(machine string) (QueueSnapshot, error) {
 // Observe subscribes to the session's event stream. The returned
 // channel delivers events matching the filter without ever blocking
 // the simulation (delivery is buffered and pumped asynchronously) and
-// closes once the session ends and the backlog has drained.
-func (s *Session) Observe(f EventFilter) <-chan Event {
+// closes once the session ends and the backlog has drained. Observing
+// a closed session returns ErrSessionClosed.
+func (s *Session) Observe(f EventFilter) (<-chan Event, error) {
 	o := newObserver(f)
 	s.obsMu.Lock()
 	closed := s.closed
@@ -224,12 +302,11 @@ func (s *Session) Observe(f EventFilter) <-chan Event {
 	}
 	s.obsMu.Unlock()
 	if closed {
-		o.finish()
-	} else {
-		s.hasObs.Store(true)
+		return nil, ErrSessionClosed
 	}
+	s.hasObs.Store(true)
 	go o.pump()
-	return o.ch
+	return o.ch, nil
 }
 
 // Run advances every machine to the end of the window, assembles the
@@ -237,7 +314,7 @@ func (s *Session) Observe(f EventFilter) <-chan Event {
 // then submit-time order), and closes the session.
 func (s *Session) Run() (*trace.Trace, error) {
 	if s.closed {
-		return nil, errSessionClosed
+		return nil, ErrSessionClosed
 	}
 	par.ForEach(len(s.sims), s.cfg.Workers, func(i int) {
 		s.sims[i].finalize()
@@ -266,13 +343,15 @@ func (s *Session) Run() (*trace.Trace, error) {
 }
 
 // Close releases the session: further calls fail, and observer
-// channels close once their backlog drains. Closing a session that
-// already ran (Run closes implicitly) is a no-op.
+// channels close once their backlog drains. Closing a session that is
+// already closed (Run closes implicitly) is safe — it touches nothing
+// and reports ErrSessionClosed so misuse is visible without
+// panicking on the cond-pumped observer buffers.
 func (s *Session) Close() error {
 	s.obsMu.Lock()
 	if s.closed {
 		s.obsMu.Unlock()
-		return nil
+		return ErrSessionClosed
 	}
 	s.closed = true
 	obs := s.observers
@@ -298,7 +377,14 @@ func (s *Session) dispatch(ev Event) {
 	}
 }
 
-var errSessionClosed = fmt.Errorf("cloud: session is closed")
+// ErrSessionClosed is returned by every Session call made after Close
+// (including a second Close).
+var ErrSessionClosed = errors.New("cloud: session is closed")
+
+// ErrTransientSubmit marks a fault-injected API-level submission
+// rejection: the job was NOT accepted, and the client may retry
+// (errors.Is-matchable; SubmitRetried does this automatically).
+var ErrTransientSubmit = errors.New("cloud: transient submit failure")
 
 // observer buffers matched events and pumps them to its channel from a
 // dedicated goroutine, so a slow (or absent) consumer can never stall
@@ -317,13 +403,15 @@ type observer struct {
 
 func newObserver(f EventFilter) *observer {
 	o := &observer{study: f.StudyOnly, ch: make(chan Event, 64)}
-	if len(f.Machines) > 0 {
+	// Non-nil slices build a restriction map even when empty: an empty
+	// non-nil filter matches nothing, only nil means "all".
+	if f.Machines != nil {
 		o.machines = make(map[string]bool, len(f.Machines))
 		for _, m := range f.Machines {
 			o.machines[m] = true
 		}
 	}
-	if len(f.Kinds) > 0 {
+	if f.Kinds != nil {
 		o.kinds = make(map[EventKind]bool, len(f.Kinds))
 		for _, k := range f.Kinds {
 			o.kinds[k] = true

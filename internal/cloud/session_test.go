@@ -338,7 +338,10 @@ func TestSessionObserveEvents(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	events := sess.Observe(cloud.EventFilter{StudyOnly: true})
+	events, err := sess.Observe(cloud.EventFilter{StudyOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	const n = 40
 	base := sessWindow.start.Add(24 * time.Hour)
 	for i := 0; i < n; i++ {
@@ -378,9 +381,10 @@ func TestSessionObserveEvents(t *testing.T) {
 		t.Fatalf("start events = %d, want one per executed job (%d)",
 			counts[cloud.EventStart], counts[cloud.EventDone]+counts[cloud.EventError])
 	}
-	// Observing a closed session yields an immediately-closed channel.
-	if _, ok := <-sess.Observe(cloud.EventFilter{}); ok {
-		t.Fatal("observe after close should deliver nothing")
+	// Observing a closed session reports the sentinel instead of
+	// silently subscribing to nothing.
+	if _, err := sess.Observe(cloud.EventFilter{}); err != cloud.ErrSessionClosed {
+		t.Fatalf("observe after close: err = %v, want ErrSessionClosed", err)
 	}
 }
 
@@ -400,7 +404,10 @@ func TestSessionObserveBackgroundStream(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	events := sess.Observe(cloud.EventFilter{Kinds: []cloud.EventKind{cloud.EventEnqueue, cloud.EventPendingSample}})
+	events, err := sess.Observe(cloud.EventFilter{Kinds: []cloud.EventKind{cloud.EventEnqueue, cloud.EventPendingSample}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := sess.Run(); err != nil {
 		t.Fatal(err)
 	}

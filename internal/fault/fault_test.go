@@ -1,0 +1,180 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+var testProfile = &Profile{
+	OutageMeanGapDays:  10,
+	OutageMeanHours:    6,
+	OutageMaxHours:     24,
+	TransientErrorRate: 0.05,
+	BurstMeanGapDays:   14,
+	BurstMeanHours:     3,
+	BurstErrorRate:     0.5,
+	StaleMeanGapDays:   7,
+	StaleMeanHours:     12,
+	StaleErrorFactor:   4,
+	SubmitErrorRate:    0.02,
+}
+
+const (
+	testStart = 0.0
+	testEnd   = 90 * 86400.0
+)
+
+func winsEqual(a, b []Window) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFaultWindowsDeterministic(t *testing.T) {
+	a := testProfile.Outages(99, 7, testStart, testEnd)
+	b := testProfile.Outages(99, 7, testStart, testEnd)
+	if !winsEqual(a, b) {
+		t.Fatalf("outage windows differ across identical calls")
+	}
+	if len(a) == 0 {
+		t.Fatalf("expected some outages over 90 days with 10-day mean gap")
+	}
+	if winsEqual(a, testProfile.Outages(100, 7, testStart, testEnd)) {
+		t.Fatalf("outage windows insensitive to seed")
+	}
+	if winsEqual(a, testProfile.Outages(99, 8, testStart, testEnd)) {
+		t.Fatalf("outage windows insensitive to machine seed")
+	}
+	if winsEqual(a, testProfile.Bursts(99, 7, testStart, testEnd)) {
+		t.Fatalf("outage and burst streams collide")
+	}
+}
+
+// TestFaultWindowsEpochStable pins the epoch anchoring: the windows
+// inside a sub-range are exactly the full-range windows clipped to it,
+// so checkpoint/restore (which regenerates windows for the same
+// configured range) and differently-scoped queries agree.
+func TestFaultWindowsEpochStable(t *testing.T) {
+	full := testProfile.Outages(99, 7, testStart, testEnd)
+	lo, hi := 20*86400.0, 70*86400.0
+	sub := testProfile.Outages(99, 7, lo, hi)
+	var want []Window
+	for _, w := range full {
+		if w.End <= lo || w.Start >= hi {
+			continue
+		}
+		if w.Start < lo {
+			w.Start = lo
+		}
+		if w.End > hi {
+			w.End = hi
+		}
+		want = append(want, w)
+	}
+	if !winsEqual(sub, want) {
+		t.Fatalf("sub-range windows %v != clipped full-range %v", sub, want)
+	}
+}
+
+func TestFaultWindowsBoundedAndSorted(t *testing.T) {
+	for _, wins := range [][]Window{
+		testProfile.Outages(5, 3, testStart, testEnd),
+		testProfile.Bursts(5, 3, testStart, testEnd),
+		testProfile.StaleWaves(5, 3, testStart, testEnd),
+	} {
+		prev := math.Inf(-1)
+		for _, w := range wins {
+			if w.Start < testStart || w.End > testEnd {
+				t.Fatalf("window %v escapes [%g, %g)", w, testStart, testEnd)
+			}
+			if w.End <= w.Start {
+				t.Fatalf("empty or inverted window %v", w)
+			}
+			if w.Start <= prev {
+				t.Fatalf("windows unsorted or overlapping after merge: %v", wins)
+			}
+			prev = w.End
+		}
+	}
+	maxDur := testProfile.OutageMaxHours * 3600
+	for _, w := range testProfile.Outages(5, 3, testStart, testEnd) {
+		if w.End-w.Start > maxDur+1e-6 {
+			t.Fatalf("outage %v exceeds max duration %g", w, maxDur)
+		}
+	}
+}
+
+func TestFaultWindowsPoissonSanity(t *testing.T) {
+	// Over many seeds the outage count should straddle the configured
+	// mean rate (90 days / 10-day gap = 9 per machine) loosely.
+	total := 0
+	const seeds = 40
+	for s := int64(0); s < seeds; s++ {
+		total += len(testProfile.Outages(s, 3, testStart, testEnd))
+	}
+	mean := float64(total) / seeds
+	if mean < 4 || mean > 14 {
+		t.Fatalf("mean outage count %.2f implausible for 9-per-window rate", mean)
+	}
+}
+
+func TestZeroProfileInjectsNothing(t *testing.T) {
+	var p Profile
+	if len(p.Outages(1, 2, testStart, testEnd)) != 0 ||
+		len(p.Bursts(1, 2, testStart, testEnd)) != 0 ||
+		len(p.StaleWaves(1, 2, testStart, testEnd)) != 0 {
+		t.Fatalf("zero profile generated windows")
+	}
+	if Decide(0, 1, 2, 3) {
+		t.Fatalf("Decide fired at rate 0")
+	}
+}
+
+func TestUnitRangeAndDeterminism(t *testing.T) {
+	for i := int64(0); i < 1000; i++ {
+		u := Unit(42, i)
+		if u < 0 || u >= 1 {
+			t.Fatalf("Unit out of [0,1): %g", u)
+		}
+		if u != Unit(42, i) {
+			t.Fatalf("Unit not deterministic")
+		}
+	}
+	if Unit(1, 2) == Unit(2, 1) {
+		t.Fatalf("Unit ignores argument order")
+	}
+	if !Decide(1, 7, 8) {
+		t.Fatalf("Decide must fire at rate 1")
+	}
+}
+
+func TestAtCursorAndCovers(t *testing.T) {
+	wins := []Window{{10, 20}, {30, 40}, {40, 50}}
+	cur := 0
+	if _, in := At(wins, &cur, 5); in {
+		t.Fatalf("t=5 should be outside")
+	}
+	if w, in := At(wins, &cur, 15); !in || w != wins[0] {
+		t.Fatalf("t=15 should hit first window")
+	}
+	if _, in := At(wins, &cur, 25); in {
+		t.Fatalf("t=25 should be outside")
+	}
+	if w, in := At(wins, &cur, 40); !in || w != wins[2] {
+		t.Fatalf("t=40 should hit third window (half-open ends)")
+	}
+	for _, tc := range []struct {
+		t  float64
+		in bool
+	}{{5, false}, {10, true}, {19.9, true}, {20, false}, {35, true}, {50, false}} {
+		if Covers(wins, tc.t) != tc.in {
+			t.Fatalf("Covers(%g) != %v", tc.t, tc.in)
+		}
+	}
+}

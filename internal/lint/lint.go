@@ -134,6 +134,7 @@ func Analyzers() []*Analyzer {
 var DeterministicPackages = []string{
 	"qcloud/internal/qsim",
 	"qcloud/internal/cloud",
+	"qcloud/internal/fault",
 	"qcloud/internal/trace",
 	"qcloud/internal/sched",
 	"qcloud/internal/workload",

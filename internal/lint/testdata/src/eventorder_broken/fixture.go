@@ -21,3 +21,16 @@ func leak(ch chan cloud.Event, ev cloud.Event, tr *trace.Trace, j *trace.Job) {
 func relay(ch chan cloud.Event, ev cloud.Event) {
 	ch <- ev // want `send on Event channel from a goroutine outside the machineSim advance loop`
 }
+
+// retryLeak is the fault-recovery anti-pattern: announcing a retry's
+// requeue from an unsanctioned goroutine when the backoff timer fires.
+func retryLeak(ch chan cloud.Event, retry, requeue cloud.Event) {
+	ch <- retry
+	go announceRequeue(ch, requeue)
+}
+
+// announceRequeue emits requeue events asynchronously but carries no
+// eventowner directive, so the send must be flagged.
+func announceRequeue(ch chan cloud.Event, ev cloud.Event) {
+	ch <- ev // want `send on Event channel from a goroutine outside the machineSim advance loop`
+}

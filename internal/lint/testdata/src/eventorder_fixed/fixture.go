@@ -23,3 +23,19 @@ func advance(ch chan cloud.Event, ev cloud.Event, tr *trace.Trace, j *trace.Job)
 func deliver(ch chan cloud.Event, ev cloud.Event) {
 	ch <- ev
 }
+
+// retryLater mirrors the fault-recovery shape: the advance loop emits
+// the retry event inline, then hands its matching requeue announcement
+// to a sanctioned delivery goroutine once the backoff elapses.
+func retryLater(ch chan cloud.Event, retry, requeue cloud.Event) {
+	ch <- retry
+	go deliverRequeue(ch, requeue)
+}
+
+// deliverRequeue is the owned retry-delivery path: requeue events are
+// paired with their retry and may be announced asynchronously.
+//
+//qcloud:eventowner
+func deliverRequeue(ch chan cloud.Event, ev cloud.Event) {
+	ch <- ev
+}

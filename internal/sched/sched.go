@@ -282,6 +282,9 @@ type Summary struct {
 	MeanEstFidelity   float64
 	CancelledFraction float64
 	Jobs              int
+	// Replaced counts queued jobs a Replacer policy withdrew from a
+	// down machine and resubmitted elsewhere (online evaluation only).
+	Replaced int
 }
 
 // Evaluate places the workload under the policy and replays it through
@@ -292,12 +295,15 @@ func Evaluate(cfg cloud.Config, specs []*cloud.JobSpec, policy Policy, e *Estima
 	if err != nil {
 		return Summary{}, nil, err
 	}
-	return summarize(policy.Name(), placed, tr, e.FleetInfo), tr, nil
+	return summarize(policy.Name(), placed, tr, e.FleetInfo, 0), tr, nil
 }
 
 // summarize aggregates the realized queue/fidelity outcomes of a
-// placed workload's trace.
-func summarize(policy string, placed []*cloud.JobSpec, tr *trace.Trace, f *FleetInfo) Summary {
+// placed workload's trace. replaced is the number of Replacer
+// withdrawals in the trace: each left a CANCELLED shadow record that
+// is bookkeeping, not a user-visible cancellation, so it is excluded
+// from CancelledFraction.
+func summarize(policy string, placed []*cloud.JobSpec, tr *trace.Trace, f *FleetInfo, replaced int) Summary {
 	var queues []float64
 	fidSum := 0.0
 	cancelled := 0
@@ -315,6 +321,9 @@ func summarize(policy string, placed []*cloud.JobSpec, tr *trace.Trace, f *Fleet
 			fidSum += f.EstimatedFidelity(s, j.Machine, j.StartTime)
 		}
 	}
+	if cancelled >= replaced {
+		cancelled -= replaced
+	}
 	s := Summary{
 		Policy:            policy,
 		MedianQueueMin:    stats.Median(queues),
@@ -322,6 +331,7 @@ func summarize(policy string, placed []*cloud.JobSpec, tr *trace.Trace, f *Fleet
 		P90QueueMin:       stats.Quantile(queues, 0.9),
 		CancelledFraction: float64(cancelled) / float64(len(tr.Jobs)),
 		Jobs:              len(tr.Jobs),
+		Replaced:          replaced,
 	}
 	if n := len(queues); n > 0 {
 		s.MeanEstFidelity = fidSum / float64(n)

@@ -1,0 +1,44 @@
+package trace
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Snapshot framing: a four-byte magic, one version byte, then a gob
+// payload. Gob (not JSON) because simulator state legitimately holds
+// ±Inf floats — a fresh machine frontier is -Inf, a finalized one +Inf
+// — which JSON cannot encode. The version byte belongs to the
+// envelope so readers can reject incompatible payloads before
+// decoding them.
+const snapshotMagic = "QCSN"
+
+// WriteSnapshot frames payload as a versioned snapshot on w.
+func WriteSnapshot(w io.Writer, version byte, payload any) error {
+	if _, err := w.Write(append([]byte(snapshotMagic), version)); err != nil {
+		return fmt.Errorf("trace: write snapshot header: %w", err)
+	}
+	if err := gob.NewEncoder(w).Encode(payload); err != nil {
+		return fmt.Errorf("trace: encode snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot decodes a snapshot from r into payload and returns the
+// envelope's version byte. Callers own the version compatibility
+// check; the codec only validates the magic.
+func ReadSnapshot(r io.Reader, payload any) (byte, error) {
+	hdr := make([]byte, len(snapshotMagic)+1)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, fmt.Errorf("trace: read snapshot header: %w", err)
+	}
+	if string(hdr[:len(snapshotMagic)]) != snapshotMagic {
+		return 0, fmt.Errorf("trace: bad snapshot magic %q", hdr[:len(snapshotMagic)])
+	}
+	version := hdr[len(snapshotMagic)]
+	if err := gob.NewDecoder(r).Decode(payload); err != nil {
+		return version, fmt.Errorf("trace: decode snapshot: %w", err)
+	}
+	return version, nil
+}

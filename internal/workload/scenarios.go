@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"qcloud/internal/cloud"
+	"qcloud/internal/fault"
+)
+
+// FaultScenario is a named fault-injection preset: the injector
+// profile plus the retry policy a study run pairs with it. Scenarios
+// parameterize robustness experiments the way Config parameterizes
+// demand — everything stays a pure function of the run seed.
+type FaultScenario struct {
+	Name string
+	// Desc is a one-line human description for CLI listings.
+	Desc string
+	// Faults is the injector profile (nil = no faults).
+	Faults *fault.Profile
+	// Retry is the recovery policy (nil = transient failures are
+	// terminal).
+	Retry *cloud.RetryPolicy
+}
+
+// Apply copies the scenario onto a cloud config.
+func (s FaultScenario) Apply(cfg cloud.Config) cloud.Config {
+	cfg.Faults = s.Faults
+	cfg.Retry = s.Retry
+	return cfg
+}
+
+// defaultRetry is the recovery policy the faulted presets share.
+func defaultRetry() *cloud.RetryPolicy {
+	return &cloud.RetryPolicy{
+		MaxAttempts: 3,
+		BaseBackoff: time.Minute,
+		MaxBackoff:  time.Hour,
+		JitterFrac:  0.25,
+	}
+}
+
+// FaultScenarios returns the built-in presets, mildest first. The
+// adversarial entry is the evaluation gauntlet for fault-aware
+// scheduling: frequent multi-hour outages on top of elevated error
+// rates, so policies that ignore machine health pay for it.
+func FaultScenarios() []FaultScenario {
+	return []FaultScenario{
+		{
+			Name: "none",
+			Desc: "no injected faults (the calm baseline)",
+		},
+		{
+			Name: "flaky-fleet",
+			Desc: "persistent low-grade transient errors and flaky submissions",
+			Faults: &fault.Profile{
+				TransientErrorRate: 0.04,
+				SubmitErrorRate:    0.01,
+			},
+			Retry: defaultRetry(),
+		},
+		{
+			Name: "outage-storm",
+			Desc: "frequent unplanned outages, hours long",
+			Faults: &fault.Profile{
+				OutageMeanGapDays: 5,
+				OutageMeanHours:   10,
+				OutageMaxHours:    48,
+			},
+			Retry: defaultRetry(),
+		},
+		{
+			Name: "error-burst",
+			Desc: "windows where most executions die to transient faults",
+			Faults: &fault.Profile{
+				TransientErrorRate: 0.01,
+				BurstMeanGapDays:   7,
+				BurstMeanHours:     6,
+				BurstErrorRate:     0.7,
+			},
+			Retry: defaultRetry(),
+		},
+		{
+			Name: "stale-waves",
+			Desc: "calibration-staleness waves multiplying the error rate",
+			Faults: &fault.Profile{
+				StaleMeanGapDays: 6,
+				StaleMeanHours:   18,
+				StaleErrorFactor: 6,
+			},
+			Retry: defaultRetry(),
+		},
+		{
+			Name: "adversarial",
+			Desc: "everything at once: outages, bursts, staleness, flaky submits",
+			Faults: &fault.Profile{
+				OutageMeanGapDays:  4,
+				OutageMeanHours:    12,
+				OutageMaxHours:     48,
+				TransientErrorRate: 0.06,
+				BurstMeanGapDays:   6,
+				BurstMeanHours:     6,
+				BurstErrorRate:     0.6,
+				StaleMeanGapDays:   7,
+				StaleMeanHours:     12,
+				StaleErrorFactor:   5,
+				SubmitErrorRate:    0.02,
+			},
+			Retry: defaultRetry(),
+		},
+	}
+}
+
+// FindFaultScenario resolves a preset by name.
+func FindFaultScenario(name string) (FaultScenario, error) {
+	for _, s := range FaultScenarios() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return FaultScenario{}, fmt.Errorf("workload: unknown fault scenario %q", name)
+}
