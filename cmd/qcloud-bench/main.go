@@ -10,8 +10,8 @@
 // Usage:
 //
 //	qcloud-bench -iters 5 -out BENCH_2026-07-29.json
-//	qcloud-bench -iters 1 -maxwidth 16 -md            # quick CI smoke
-//	qcloud-bench -baseline BENCH_old.json -md         # compare + embed
+//	qcloud-bench -iters 1 -maxwidth 16 -journal-jobs 20000 -md  # quick CI smoke
+//	qcloud-bench -baseline BENCH_old.json -md                   # compare + embed
 package main
 
 import (
@@ -65,6 +65,24 @@ type KernelSweepRow struct {
 	Blocked int    `json:"blocked_2q_ops"`
 }
 
+// JournalSessionRow records one constant-memory contract run: the same
+// year-long study stream through an in-memory session and a journaled
+// one. HeldTraceEntries is the peak-RSS proxy — finished trace records
+// retained in memory at window end — which is O(jobs) in-memory and 0
+// journaled, no matter the job count.
+type JournalSessionRow struct {
+	Mode             string  `json:"mode"`
+	Jobs             int     `json:"jobs"`
+	Seconds          float64 `json:"seconds"`
+	JobsPerSec       float64 `json:"jobs_per_sec"`
+	HeldTraceEntries int     `json:"held_trace_entries"`
+	JournalRecords   int64   `json:"journal_records,omitempty"`
+	JournalBytes     int64   `json:"journal_bytes,omitempty"`
+	RecordsPerSec    float64 `json:"journal_records_per_sec,omitempty"`
+	BytesPerJob      float64 `json:"journal_bytes_per_job,omitempty"`
+	Checkpoints      int     `json:"checkpoints,omitempty"`
+}
+
 // Report is the emitted BENCH_*.json document.
 type Report struct {
 	Label string `json:"label,omitempty"`
@@ -80,6 +98,9 @@ type Report struct {
 	// KernelSweeps records per-circuit kernel-sweep counts under each
 	// fusion setting (the lever 2q block fusion pulls).
 	KernelSweeps []KernelSweepRow `json:"kernel_sweeps,omitempty"`
+	// JournalSessions records the journaled-vs-in-memory session rows
+	// (events/sec, bytes/job, held trace entries).
+	JournalSessions []JournalSessionRow `json:"journal_sessions,omitempty"`
 	// Baseline embeds a previous report (typically the pre-change
 	// numbers) so one committed file records both sides of a change.
 	Baseline *Report `json:"baseline,omitempty"`
@@ -123,6 +144,29 @@ func measure(name string, iters int, f func() error) (Result, error) {
 	}, nil
 }
 
+// measureOnce is measure without the warm-up and with a single timed
+// run — for the million-job journal rows, where one pass writes
+// hundreds of MB of WAL and the warm-up+iters loop would dominate the
+// whole bench.
+func measureOnce(name string, f func() error) (Result, error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	if err := f(); err != nil {
+		return Result{}, fmt.Errorf("%s: %w", name, err)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return Result{
+		Name:        name,
+		Iterations:  1,
+		NsPerOp:     float64(elapsed.Nanoseconds()),
+		BytesPerOp:  int64(after.TotalAlloc - before.TotalAlloc),
+		AllocsPerOp: int64(after.Mallocs - before.Mallocs),
+	}, nil
+}
+
 // simModes mirrors the bench_test.go variants: serial (full 2q-blocked
 // fusion), a 4-worker pool, the PR 2 engine (1q/diagonal fusion only),
 // and the pre-fusion engine — the Fusion2Q A/B trio plus parallelism.
@@ -162,7 +206,7 @@ func fig7Jobs(machines []*backend.Machine, n, shots, reps int, at time.Time, see
 	return jobs, nil
 }
 
-func run(iters, maxWidth, shots int) (*Report, error) {
+func run(iters, maxWidth, shots, journalJobs int) (*Report, error) {
 	rep := &Report{
 		Date:      time.Now().UTC().Format("2006-01-02"),
 		GoVersion: runtime.Version(),
@@ -439,6 +483,85 @@ func run(iters, maxWidth, shots int) (*Report, error) {
 		}
 	}
 
+	// CloudJournaledSession: the ROADMAP's million-job constant-memory
+	// contract. The same year-long study stream runs through an
+	// in-memory session (the finished trace accumulates until Run) and
+	// through a journaled one (every finished job streams to the
+	// durable WAL, auto-checkpointed quarterly, trace discarded from
+	// memory). Each row records throughput and the peak-RSS proxy —
+	// live trace entries held at window end — which is O(jobs)
+	// in-memory and must be 0 journaled no matter the job count.
+	if journalJobs > 0 {
+		jStart := backend.StudyStart
+		jEnd := jStart.AddDate(1, 0, 0)
+		jSpecs := workload.Generate(workload.Config{Seed: 11, TotalJobs: journalJobs, Start: jStart, End: jEnd})
+		jCfg := cloud.Config{Seed: 11, Start: jStart, End: jEnd, Workers: 4}
+		jRow := func(mode string, sec float64, held int, st *cloud.JournalStats) {
+			row := JournalSessionRow{
+				Mode: mode, Jobs: len(jSpecs), Seconds: sec,
+				JobsPerSec:       float64(len(jSpecs)) / sec,
+				HeldTraceEntries: held,
+			}
+			if st != nil {
+				row.JournalRecords = st.Records
+				row.JournalBytes = st.Bytes
+				row.RecordsPerSec = float64(st.Records) / sec
+				row.BytesPerJob = float64(st.Bytes) / float64(st.JobRecords)
+				row.Checkpoints = st.Checkpoints
+			}
+			rep.JournalSessions = append(rep.JournalSessions, row)
+			log.Printf("journal session %-10s %d jobs  %7.2fs  %8.0f jobs/s  held %d  bytes/job %.0f",
+				mode, row.Jobs, sec, row.JobsPerSec, held, row.BytesPerJob)
+		}
+		var heldMem, heldJrnl int
+		var jstats cloud.JournalStats
+		resMem, err := measureOnce("CloudJournaledSession/in-memory", func() error {
+			sess, err := cloud.Open(jCfg)
+			if err != nil {
+				return err
+			}
+			for _, s := range jSpecs {
+				if _, err := sess.Submit(s); err != nil {
+					return err
+				}
+			}
+			sess.AdvanceTo(jEnd)
+			heldMem = sess.HeldTraceEntries()
+			_, err = sess.Run()
+			return err
+		})
+		if err := add(resMem, err); err != nil {
+			return nil, err
+		}
+		jRow("in-memory", resMem.NsPerOp/1e9, heldMem, nil)
+		resJrnl, err := measureOnce("CloudJournaledSession/journaled", func() error {
+			dir, err := os.MkdirTemp("", "qcloud-bench-journal-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			cfg := jCfg
+			cfg.Journal = &cloud.JournalConfig{Dir: dir, CheckpointEvery: 91 * 24 * time.Hour}
+			sess, err := cloud.Open(cfg)
+			if err != nil {
+				return err
+			}
+			for _, s := range jSpecs {
+				if _, err := sess.Submit(s); err != nil {
+					return err
+				}
+			}
+			sess.AdvanceTo(jEnd)
+			heldJrnl = sess.HeldTraceEntries()
+			jstats, err = sess.DrainJournal()
+			return err
+		})
+		if err := add(resJrnl, err); err != nil {
+			return nil, err
+		}
+		jRow("journaled", resJrnl.NsPerOp/1e9, heldJrnl, &jstats)
+	}
+
 	// Kernel crossover probe: the same 16q exact evolution with the
 	// parallel threshold forced low, default, and high — the knob
 	// Parallelism.KernelMinAmps exposes.
@@ -478,6 +601,9 @@ func run(iters, maxWidth, shots int) (*Report, error) {
 		// and the checkpoint round-trip vs running straight through.
 		{"CloudFaultRecovery", "CloudFleetSweep/simulate-serial", "CloudFaultRecovery/simulate-adversarial", "no-faults"},
 		{"CloudFaultRecovery/checkpoint", "CloudFaultRecovery/simulate-adversarial", "CloudFaultRecovery/checkpoint-roundtrip", "straight-run"},
+		// Durability cost: what streaming every finished job to the WAL
+		// (plus auto-checkpoints) costs over holding the trace in memory.
+		{"CloudJournaledSession", "CloudJournaledSession/in-memory", "CloudJournaledSession/journaled", "in-memory"},
 	}
 	for _, n := range []int{16, 20, 22} {
 		if n > maxWidth {
@@ -544,10 +670,11 @@ func main() {
 		label    = flag.String("label", "", "free-form label recorded in the report (e.g. a PR number)")
 		notes    = flag.String("notes", "", "free-form notes recorded in the report (what the run establishes)")
 		md       = flag.Bool("md", false, "also print the results as a markdown table")
+		jrnlJobs = flag.Int("journal-jobs", 1000000, "job count for the journaled-session rows (single timed pass each; 0 skips them, lower it for quick smoke runs)")
 	)
 	flag.Parse()
 
-	rep, err := run(*iters, *maxWidth, *shots)
+	rep, err := run(*iters, *maxWidth, *shots, *jrnlJobs)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,12 +11,20 @@
 // trace byte for byte as long as the other flags match the original
 // run.
 //
+// -journal streams the run into a durable journal directory (crash-safe
+// WAL + periodic auto-checkpoints) instead of holding the trace in
+// memory; a run killed at any point — SIGKILL included — resumes with
+// -recover and finishes with output byte-identical to an uninterrupted
+// run.
+//
 // Usage:
 //
 //	qcloud-sim -seed 42 -jobs 6200 -workers 8 -csv trace.csv -json trace.json
 //	qcloud-sim -seed 42 -events
 //	qcloud-sim -seed 42 -faults adversarial -checkpoint snap.qcsn -checkpoint-days 365
 //	qcloud-sim -seed 42 -faults adversarial -restore snap.qcsn -csv trace.csv
+//	qcloud-sim -seed 42 -journal run.journal -csv trace.csv
+//	qcloud-sim -seed 42 -journal run.journal -recover -csv trace.csv
 package main
 
 import (
@@ -48,12 +56,28 @@ func main() {
 		ckptPath = flag.String("checkpoint", "", "write a mid-run session checkpoint to this path")
 		ckptDays = flag.Float64("checkpoint-days", 365, "days into the window at which -checkpoint snapshots")
 		restore  = flag.String("restore", "", "resume from a checkpoint file instead of starting fresh (seed/jobs/faults must match the original run)")
+		journal  = flag.String("journal", "", "durable journal directory: stream job records to disk with auto-checkpoints instead of holding the trace in memory")
+		recov    = flag.Bool("recover", false, "resume a killed -journal run from its journal directory and finish it")
+		jrnlDays = flag.Float64("journal-ckpt-days", 30, "auto-checkpoint cadence for -journal, in simulated days")
+		days     = flag.Float64("days", 0, "length of the simulated window in days (0 = the full two-year study window)")
 		quiet    = flag.Bool("q", false, "suppress the summary")
 	)
 	flag.Parse()
 	par.SetWorkers(*workers)
 
-	cfg := cloud.Config{Seed: *seed, Workers: *workers}
+	start, end := backend.StudyStart, backend.StudyEnd
+	if *days > 0 {
+		end = start.Add(time.Duration(*days * 24 * float64(time.Hour)))
+	}
+	cfg := cloud.Config{Seed: *seed, Workers: *workers, Start: start, End: end}
+	if *journal != "" {
+		cfg.Journal = &cloud.JournalConfig{
+			Dir:             *journal,
+			CheckpointEvery: time.Duration(*jrnlDays * 24 * float64(time.Hour)),
+		}
+	} else if *recov {
+		log.Fatal("-recover requires -journal")
+	}
 	if *faults != "" {
 		sc, err := workload.FindFaultScenario(*faults)
 		if err != nil {
@@ -84,6 +108,11 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("restored session from %s", *restore)
+	} else if *recov {
+		if sess, err = cloud.Recover(cfg); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("recovered session from %s (%d accepted submissions replayed)", *journal, sess.JournaledSubmits())
 	} else if sess, err = cloud.Open(cfg); err != nil {
 		log.Fatal(err)
 	}
@@ -106,8 +135,19 @@ func main() {
 	if *restore == "" {
 		// A restored session already carries its submitted workload; a
 		// fresh one gets the generated study stream (SubmitRetried rides
-		// out the fault injector's transient submission rejections).
-		for _, s := range workload.Generate(workload.Config{Seed: *seed, TotalJobs: *jobs}) {
+		// out the fault injector's transient submission rejections). A
+		// recovered journal session replays its accepted submissions from
+		// the input log, so only the unsubmitted suffix of the (fully
+		// deterministic) stream is submitted again.
+		specs := workload.Generate(workload.Config{Seed: *seed, TotalJobs: *jobs, Start: start, End: end})
+		skip := 0
+		if *recov {
+			skip = int(sess.JournaledSubmits())
+			if skip > len(specs) {
+				skip = len(specs)
+			}
+		}
+		for _, s := range specs[skip:] {
 			if _, err := sess.SubmitRetried(s, 0); err != nil {
 				log.Fatal(err)
 			}

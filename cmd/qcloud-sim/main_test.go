@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func buildSim(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "qcloud-sim")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func mustRun(t *testing.T, bin string, args ...string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("%s %v: %v\n%s", bin, args, err, out)
+	}
+}
+
+// TestJournalSIGKILLRecovery is the tentpole's end-to-end harness: a
+// real qcloud-sim process is SIGKILLed mid-run at several wall-clock
+// offsets — no cleanup, no flushing, exactly like a crash or OOM kill
+// — and -recover must finish each run with CSV output byte-identical
+// to an uninterrupted one. Offsets that outlive the run exercise
+// recovery over a sealed journal, which must also reproduce the bytes.
+func TestJournalSIGKILLRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess crash harness")
+	}
+	bin := buildSim(t)
+	work := t.TempDir()
+	golden := filepath.Join(work, "golden.csv")
+	base := []string{"-seed", "9", "-days", "365", "-jobs", "800", "-q"}
+	mustRun(t, bin, append(base, "-csv", golden)...)
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, delay := range []time.Duration{150 * time.Millisecond, 600 * time.Millisecond, 1300 * time.Millisecond} {
+		dir := filepath.Join(work, fmt.Sprintf("journal-%d", i))
+		out := filepath.Join(work, fmt.Sprintf("out-%d.csv", i))
+		jargs := append(append([]string{}, base...), "-journal", dir, "-journal-ckpt-days", "45", "-csv", out)
+		cmd := exec.Command(bin, jargs...)
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		timer := time.AfterFunc(delay, func() { cmd.Process.Kill() })
+		runErr := cmd.Wait()
+		timer.Stop()
+		rargs := append(append([]string{}, jargs...), "-recover")
+		rec := exec.Command(bin, rargs...)
+		if recOut, err := rec.CombinedOutput(); err != nil {
+			t.Fatalf("kill at %v (run err %v): recover failed: %v\n%s", delay, runErr, err, recOut)
+		}
+		got, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("kill at %v (run err %v): recovered CSV differs from uninterrupted run (%d vs %d bytes)",
+				delay, runErr, len(got), len(want))
+		}
+	}
+}

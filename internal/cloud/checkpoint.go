@@ -12,8 +12,14 @@ import (
 
 // checkpointVersion is the snapshot payload version; bump it whenever
 // MachineCheckpoint's layout or semantics change so stale snapshots
-// are rejected instead of silently misread.
-const checkpointVersion byte = 1
+// are rejected instead of silently misread. Version 2 adds the CRC32C
+// snapshot footer and the Journal* resume fields; version-1 files are
+// still readable (the new fields decode as zero).
+const checkpointVersion byte = 2
+
+// checkpointOldestReadable is the oldest envelope version
+// ReadCheckpoint still accepts.
+const checkpointOldestReadable byte = 1
 
 // Checkpoint is a complete, restorable snapshot of an open session:
 // every machine's queue heap, arrival-stream cursors, fair-share
@@ -32,6 +38,16 @@ type Checkpoint struct {
 	Retry  *RetryPolicy
 	// Machines holds per-machine state in fleet order.
 	Machines []MachineCheckpoint
+
+	// Journal* pin the durable-journal resume point for sessions in
+	// journal mode (zero otherwise): the per-machine stream record
+	// counts and input-log length at snapshot time, this checkpoint's
+	// sequence number in its journal directory, and the next
+	// auto-checkpoint instant.
+	JournalMachineRecords []int64
+	JournalSubmits        int64
+	JournalSeq            int64
+	JournalNextCkpt       time.Time
 }
 
 // MachineCheckpoint is one machine's serialized state. Spec-pointer
@@ -138,6 +154,11 @@ func (s *Session) Checkpoint() (*Checkpoint, error) {
 	if s.closed {
 		return nil, ErrSessionClosed
 	}
+	if s.jr != nil {
+		if err := s.jr.haltErr(); err != nil {
+			return nil, err
+		}
+	}
 	ck := &Checkpoint{
 		Seed:   s.cfg.Seed,
 		Start:  s.cfg.Start,
@@ -241,6 +262,9 @@ func (ms *machineSim) checkpoint() MachineCheckpoint {
 // validated, the rest (fleet composition, background model) must match
 // by contract.
 func Restore(cfg Config, ck *Checkpoint) (*Session, error) {
+	if cfg.Journal != nil {
+		return nil, fmt.Errorf("cloud: Restore cannot attach a journal; use Recover for journaled sessions")
+	}
 	c := cfg.withDefaults()
 	if c.Seed != ck.Seed || !c.Start.Equal(ck.Start) || !c.End.Equal(ck.End) {
 		return nil, fmt.Errorf("cloud: restore config mismatch: seed/window %d %s..%s vs checkpoint %d %s..%s",
@@ -394,8 +418,8 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	if v != checkpointVersion {
-		return nil, fmt.Errorf("cloud: checkpoint version %d not supported (want %d)", v, checkpointVersion)
+	if v < checkpointOldestReadable || v > checkpointVersion {
+		return nil, fmt.Errorf("cloud: checkpoint version %d not supported (want %d..%d)", v, checkpointOldestReadable, checkpointVersion)
 	}
 	return ck, nil
 }

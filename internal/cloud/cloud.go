@@ -86,6 +86,11 @@ type Config struct {
 	// Retry requeues transiently-failed jobs with capped exponential
 	// backoff (nil = transient failures are terminal errors).
 	Retry *RetryPolicy
+	// Journal enables durable journaling: finished jobs stream into an
+	// append-only journal directory instead of memory, the session
+	// auto-checkpoints itself, and a killed run resumes with Recover
+	// (nil = in-memory traces, the default).
+	Journal *JournalConfig
 }
 
 // RetryPolicy governs how a machine requeues jobs killed by transient

@@ -1,0 +1,455 @@
+package cloud
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"qcloud/internal/fault"
+	"qcloud/internal/journal"
+	"qcloud/internal/trace"
+)
+
+// jtConfig is the journal-test scenario: two machines, the short test
+// window, and the full fault/retry stack so recovery must reproduce
+// outages, transient kills, retries and flaky submits — not just the
+// happy path.
+func jtConfig(seed int64, workers int) Config {
+	cfg := testConfig(seed, "ibmq_athens", "ibmq_rome")
+	cfg.Workers = workers
+	cfg.Faults = &fault.Profile{
+		OutageMeanGapDays:  6,
+		OutageMeanHours:    8,
+		OutageMaxHours:     36,
+		TransientErrorRate: 0.08,
+		SubmitErrorRate:    0.02,
+	}
+	cfg.Retry = &RetryPolicy{
+		MaxAttempts: 4,
+		BaseBackoff: 2 * time.Minute,
+		MaxBackoff:  45 * time.Minute,
+		JitterFrac:  0.3,
+	}
+	return cfg
+}
+
+func jtSpecs() []*JobSpec {
+	a := makeSpecs("ibmq_athens", 60, 5*time.Hour)
+	b := makeSpecs("ibmq_rome", 60, 7*time.Hour)
+	var specs []*JobSpec
+	for i := range a {
+		specs = append(specs, a[i], b[i])
+	}
+	return specs
+}
+
+func jtJSON(t *testing.T, tr *trace.Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.WriteJSON(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// jtGolden is the uninterrupted in-memory trace every journaled and
+// recovered variant must reproduce byte-for-byte.
+func jtGolden(t *testing.T, workers int) []byte {
+	t.Helper()
+	tr, err := Simulate(jtConfig(3, workers), jtSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jtJSON(t, tr)
+}
+
+// runJournaled opens a journaled session, submits the spec stream and
+// runs it, tolerating a deterministic kill at any point: it returns
+// the trace (nil if the run was killed) and whether the kill fired.
+func runJournaled(t *testing.T, cfg Config, specs []*JobSpec) (*trace.Trace, bool) {
+	t.Helper()
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range specs {
+		if _, err := s.SubmitRetried(sp, 0); err != nil {
+			if errors.Is(err, errJournalKilled) {
+				s.Close()
+				return nil, true
+			}
+			t.Fatal(err)
+		}
+	}
+	tr, err := s.Run()
+	if err != nil {
+		if errors.Is(err, errJournalKilled) {
+			s.Close()
+			return nil, true
+		}
+		t.Fatal(err)
+	}
+	return tr, false
+}
+
+// recoverAndFinish resumes a killed journal directory: recover, submit
+// whatever suffix of the deterministic spec stream the input log has
+// not yet accepted, and run to completion.
+func recoverAndFinish(t *testing.T, cfg Config, specs []*JobSpec) *trace.Trace {
+	t.Helper()
+	s, err := Recover(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range specs[s.JournaledSubmits():] {
+		if _, err := s.SubmitRetried(sp, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestJournaledRunMatchesInMemory pins the tentpole's baseline: a
+// journaled session's trace — streamed to disk, then read back — is
+// byte-identical to the in-memory run, at serial and parallel worker
+// counts, and the session holds no trace records in memory while it
+// runs.
+func TestJournaledRunMatchesInMemory(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		golden := jtGolden(t, workers)
+		cfg := jtConfig(3, workers)
+		cfg.Journal = &JournalConfig{Dir: t.TempDir(), CheckpointEvery: 4 * 24 * time.Hour}
+		s, err := Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sp := range jtSpecs() {
+			if _, err := s.SubmitRetried(sp, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.AdvanceTo(cfg.Start.Add(10 * 24 * time.Hour))
+		if n := s.HeldTraceEntries(); n != 0 {
+			t.Fatalf("workers=%d: journaled session holds %d trace entries mid-run, want 0", workers, n)
+		}
+		tr, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(jtJSON(t, tr), golden) {
+			t.Fatalf("workers=%d: journaled trace differs from in-memory trace", workers)
+		}
+		// The sealed journal reads back identically a second time.
+		tr2, err := ReadJournalTrace(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(jtJSON(t, tr2), golden) {
+			t.Fatalf("workers=%d: ReadJournalTrace differs from in-memory trace", workers)
+		}
+	}
+}
+
+// journalRecordTotal measures how many journal appends a full
+// uninterrupted run performs, so kill points can cover the whole run.
+func journalRecordTotal(t *testing.T, workers int) int64 {
+	t.Helper()
+	cfg := jtConfig(3, workers)
+	cfg.Journal = &JournalConfig{Dir: t.TempDir(), CheckpointEvery: 4 * 24 * time.Hour}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range jtSpecs() {
+		if _, err := s.SubmitRetried(sp, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := s.DrainJournal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Checkpoints == 0 || st.JobRecords == 0 {
+		t.Fatalf("drain stats look wrong: %+v", st)
+	}
+	return st.Records
+}
+
+// TestKillAnywhereRecoversByteIdentical is the tentpole contract: a
+// session killed deterministically after ANY number of journal appends
+// — during submission, mid-window, mid-checkpoint interval, or during
+// the final drain — recovers to a finished trace byte-identical to the
+// uninterrupted run.
+func TestKillAnywhereRecoversByteIdentical(t *testing.T) {
+	golden := jtGolden(t, 1)
+	total := journalRecordTotal(t, 1)
+	// Kill points: the first few appends (crash during submission), a
+	// spread across the run, and the last appends (crash during seal).
+	points := []int64{1, 2, 3, 5, total - 2, total - 1}
+	for i := int64(1); i <= 10; i++ {
+		points = append(points, i*total/11)
+	}
+	for _, kill := range points {
+		if kill <= 0 || kill >= total {
+			continue
+		}
+		dir := t.TempDir()
+		cfg := jtConfig(3, 1)
+		cfg.Journal = &JournalConfig{Dir: dir, CheckpointEvery: 4 * 24 * time.Hour, killAfterRecords: kill}
+		_, killed := runJournaled(t, cfg, jtSpecs())
+		if !killed {
+			t.Fatalf("kill point %d/%d did not fire", kill, total)
+		}
+		cfg.Journal = &JournalConfig{Dir: dir, CheckpointEvery: 4 * 24 * time.Hour}
+		tr := recoverAndFinish(t, cfg, jtSpecs())
+		if !bytes.Equal(jtJSON(t, tr), golden) {
+			t.Fatalf("kill point %d/%d: recovered trace differs from uninterrupted run", kill, total)
+		}
+	}
+}
+
+// TestKillParallelRecoversByteIdentical reruns the crash-recovery
+// contract at four workers: the kill lands nondeterministically across
+// machine goroutines, but recovery must still reproduce the golden
+// trace exactly.
+func TestKillParallelRecoversByteIdentical(t *testing.T) {
+	golden := jtGolden(t, 4)
+	total := journalRecordTotal(t, 4)
+	for _, kill := range []int64{total / 5, total / 2, 4 * total / 5} {
+		dir := t.TempDir()
+		cfg := jtConfig(3, 4)
+		cfg.Journal = &JournalConfig{Dir: dir, CheckpointEvery: 4 * 24 * time.Hour, killAfterRecords: kill}
+		_, killed := runJournaled(t, cfg, jtSpecs())
+		if !killed {
+			t.Fatalf("kill point %d/%d did not fire", kill, total)
+		}
+		cfg.Journal = &JournalConfig{Dir: dir, CheckpointEvery: 4 * 24 * time.Hour}
+		tr := recoverAndFinish(t, cfg, jtSpecs())
+		if !bytes.Equal(jtJSON(t, tr), golden) {
+			t.Fatalf("kill point %d/%d (4 workers): recovered trace differs", kill, total)
+		}
+	}
+}
+
+// TestRecoverSurvivesCorruptNewestCheckpoint: recovery falls back to
+// an older checkpoint (or a fresh replay) when the newest one is
+// bit-flipped, and still finishes byte-identical.
+func TestRecoverSurvivesCorruptNewestCheckpoint(t *testing.T) {
+	golden := jtGolden(t, 1)
+	total := journalRecordTotal(t, 1)
+	dir := t.TempDir()
+	cfg := jtConfig(3, 1)
+	cfg.Journal = &JournalConfig{Dir: dir, CheckpointEvery: 4 * 24 * time.Hour, killAfterRecords: 4 * total / 5}
+	if _, killed := runJournaled(t, cfg, jtSpecs()); !killed {
+		t.Fatal("kill did not fire")
+	}
+	seqs, err := listCheckpointSeqs(dir)
+	if err != nil || len(seqs) < 2 {
+		t.Fatalf("want >=2 checkpoints on disk, got %d (err %v)", len(seqs), err)
+	}
+	// Flip one byte in the middle of the newest checkpoint's payload.
+	path := ckptFilePath(dir, seqs[len(seqs)-1])
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x20
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Journal = &JournalConfig{Dir: dir, CheckpointEvery: 4 * 24 * time.Hour}
+	tr := recoverAndFinish(t, cfg, jtSpecs())
+	if !bytes.Equal(jtJSON(t, tr), golden) {
+		t.Fatal("recovered trace differs after corrupt-checkpoint fallback")
+	}
+}
+
+// TestRecoverSurvivesTornMachineJournal: machine-stream records behind
+// the checkpoint regenerate deterministically, so a torn machine
+// journal tail (beyond the newest checkpoint) cannot prevent an exact
+// recovery.
+func TestRecoverSurvivesTornMachineJournal(t *testing.T) {
+	golden := jtGolden(t, 1)
+	total := journalRecordTotal(t, 1)
+	dir := t.TempDir()
+	cfg := jtConfig(3, 1)
+	cfg.Journal = &JournalConfig{Dir: dir, CheckpointEvery: 4 * 24 * time.Hour, killAfterRecords: 3 * total / 4}
+	if _, killed := runJournaled(t, cfg, jtSpecs()); !killed {
+		t.Fatal("kill did not fire")
+	}
+	// Tear bytes off the final segment of the first machine's stream.
+	mdir := machineStreamDir(dir, "ibmq_athens")
+	segs, err := filepath.Glob(filepath.Join(mdir, "*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments in %s (err %v)", mdir, err)
+	}
+	last := segs[len(segs)-1]
+	raw, err := os.ReadFile(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) > 11 {
+		if err := os.WriteFile(last, raw[:len(raw)-11], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg.Journal = &JournalConfig{Dir: dir, CheckpointEvery: 4 * 24 * time.Hour}
+	tr := recoverAndFinish(t, cfg, jtSpecs())
+	if !bytes.Equal(jtJSON(t, tr), golden) {
+		t.Fatal("recovered trace differs after torn machine journal")
+	}
+}
+
+// TestJournalMisuseErrors pins the guard rails: reading an unsealed
+// journal, opening over an existing one, restoring with a journal
+// config, and recovering a non-journal directory all fail loudly.
+func TestJournalMisuseErrors(t *testing.T) {
+	dir := t.TempDir()
+	cfg := jtConfig(3, 1)
+	cfg.Journal = &JournalConfig{Dir: dir, CheckpointEvery: 4 * 24 * time.Hour, killAfterRecords: 40}
+	if _, killed := runJournaled(t, cfg, jtSpecs()); !killed {
+		t.Fatal("kill did not fire")
+	}
+	cfg.Journal = &JournalConfig{Dir: dir}
+	if _, err := ReadJournalTrace(cfg); err == nil || !strings.Contains(err.Error(), "Recover") {
+		t.Fatalf("unsealed journal read: %v", err)
+	}
+	if _, err := Open(cfg); err == nil || !strings.Contains(err.Error(), "Recover") {
+		t.Fatalf("open over existing journal: %v", err)
+	}
+	if _, err := Restore(cfg, &Checkpoint{}); err == nil || !strings.Contains(err.Error(), "Recover") {
+		t.Fatalf("restore with journal config: %v", err)
+	}
+	empty := jtConfig(3, 1)
+	empty.Journal = &JournalConfig{Dir: t.TempDir()}
+	if _, err := Recover(empty); err == nil || !strings.Contains(err.Error(), "not a session journal") {
+		t.Fatalf("recover of non-journal dir: %v", err)
+	}
+}
+
+// flakyFile fails every write once its countdown of successes runs
+// out — a persistent filesystem failure.
+type flakyFile struct {
+	f         journal.File
+	successes int
+}
+
+func (ff *flakyFile) Write(p []byte) (int, error) {
+	if ff.successes <= 0 {
+		return 0, errors.New("injected disk failure")
+	}
+	ff.successes--
+	return ff.f.Write(p)
+}
+func (ff *flakyFile) Sync() error  { return ff.f.Sync() }
+func (ff *flakyFile) Close() error { return ff.f.Close() }
+
+// TestPersistentWriteFailureFailStops: when journal writes keep
+// failing past the retry cap, the session fail-stops with a clear
+// error instead of silently continuing undurable.
+func TestPersistentWriteFailureFailStops(t *testing.T) {
+	cfg := jtConfig(3, 1)
+	budget := 25
+	cfg.Journal = &JournalConfig{
+		Dir:             t.TempDir(),
+		CheckpointEvery: 4 * 24 * time.Hour,
+		openFile: func(path string) (journal.File, error) {
+			f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return nil, err
+			}
+			ff := &flakyFile{f: f, successes: budget}
+			budget = 0 // only the first segments get any successes
+			return ff, nil
+		},
+	}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failed error
+	for _, sp := range jtSpecs() {
+		if _, err := s.SubmitRetried(sp, 0); err != nil {
+			failed = err
+			break
+		}
+	}
+	if failed == nil {
+		_, failed = s.Run()
+	}
+	s.Close()
+	if failed == nil || !strings.Contains(failed.Error(), "fail-stopped") {
+		t.Fatalf("persistent write failure surfaced as %v, want fail-stopped error", failed)
+	}
+}
+
+// TestCheckpointFileBitFlipRejected: a checkpoint file with any bit
+// flipped is rejected by ReadCheckpoint with a checksum error — never
+// a gob panic, never a silent wrong restore.
+func TestCheckpointFileBitFlipRejected(t *testing.T) {
+	cfg := jtConfig(3, 1)
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, sp := range jtSpecs()[:20] {
+		if _, err := s.SubmitRetried(sp, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.AdvanceTo(cfg.Start.Add(6 * 24 * time.Hour))
+	ck, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, ck); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip a byte every stride positions across the whole file (header,
+	// payload, footer); each corruption must error.
+	for pos := 0; pos < len(data); pos += 37 {
+		corrupt := bytes.Clone(data)
+		corrupt[pos] ^= 0x08
+		if _, err := ReadCheckpoint(bytes.NewReader(corrupt)); err == nil {
+			t.Fatalf("bit flip at byte %d of %d went undetected", pos, len(data))
+		}
+	}
+}
+
+// TestCheckpointV1StillReadable: pre-checksum (version-1) checkpoint
+// files remain loadable after the format bump.
+func TestCheckpointV1StillReadable(t *testing.T) {
+	cfg := jtConfig(3, 1)
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.AdvanceTo(cfg.Start.Add(3 * 24 * time.Hour))
+	ck, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteSnapshot(&buf, 1, ck); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != ck.Seed || len(got.Machines) != len(ck.Machines) {
+		t.Fatalf("v1 checkpoint decoded wrong: seed %d, %d machines", got.Seed, len(got.Machines))
+	}
+}

@@ -149,6 +149,11 @@ type machineSim struct {
 	handles     map[*JobSpec]*JobHandle
 	cancelledAt map[*JobSpec]float64
 	recorded    map[*JobSpec]bool
+
+	// idx is the machine's fleet position (selects its journal stream);
+	// jbuf is the reused journal-frame encode buffer.
+	idx  int
+	jbuf []byte
 }
 
 func newMachineSim(cfg Config, m *backend.Machine, sess *Session) *machineSim {
@@ -236,8 +241,13 @@ func (ms *machineSim) submit(spec *JobSpec) (*JobHandle, error) {
 			return nil, fmt.Errorf("%w: %s rejected attempt %d", ErrTransientSubmit, ms.m.Name, ms.submitSeq)
 		}
 	}
-	// Insert keeping SubmitTime order; equal times go after existing
-	// entries, so replaying the same arrival order reproduces the trace.
+	return ms.insertSpec(spec), nil
+}
+
+// insertSpec places an accepted spec into the pending stream keeping
+// SubmitTime order; equal times go after existing entries, so replaying
+// the same arrival order reproduces the trace.
+func (ms *machineSim) insertSpec(spec *JobSpec) *JobHandle {
 	rest := ms.specs[ms.specIdx:]
 	i := ms.specIdx + sort.Search(len(rest), func(k int) bool {
 		return rest[k].SubmitTime.After(spec.SubmitTime)
@@ -247,7 +257,24 @@ func (ms *machineSim) submit(spec *JobSpec) (*JobHandle, error) {
 	ms.specs[i] = spec
 	h := &JobHandle{spec: spec, machine: ms.m.Name, sess: ms.sess}
 	ms.handles[spec] = h
-	return h, nil
+	return h
+}
+
+// resubmitJournaled replays an accepted submission from the journal's
+// input log: no fault decision is re-taken (the recorded submit-fault
+// sequence is restored instead), so the replayed admission stream is
+// exactly the one the crashed run saw.
+func (ms *machineSim) resubmitJournaled(spec *JobSpec, submitSeq int64) error {
+	sec := ms.toSec(spec.SubmitTime)
+	if !ms.dead && (sec < ms.frontier || (sec == ms.frontier && ms.frontierInclusive)) {
+		return fmt.Errorf("cloud: journal replay: submit to %s at %s is behind the restored frontier %s (journal and checkpoint disagree)",
+			ms.m.Name, spec.SubmitTime.Format(time.RFC3339), ms.toTime(ms.frontier).Format(time.RFC3339))
+	}
+	if submitSeq > ms.submitSeq {
+		ms.submitSeq = submitSeq
+	}
+	ms.insertSpec(spec)
+	return nil
 }
 
 // cancel withdraws a study job that has not finished. Jobs still
@@ -516,7 +543,13 @@ func (ms *machineSim) record(s *JobSpec, startT, endT time.Time, status trace.St
 		CompileEpoch: ms.m.CalibrationEpochAt(s.SubmitTime),
 		ExecEpoch:    ms.m.CalibrationEpochAt(startT),
 	}
-	ms.jobs = append(ms.jobs, j)
+	if jr := ms.journal(); jr != nil {
+		// Journal mode streams the record to disk and retains nothing —
+		// the constant-memory contract for million-job sessions.
+		jr.appendJob(ms, j)
+	} else {
+		ms.jobs = append(ms.jobs, j)
+	}
 	ms.recorded[s] = true
 	if ms.observed() {
 		ms.emit(Event{
@@ -735,7 +768,13 @@ func (ms *machineSim) advanceTo(t float64) {
 	if ms.dead {
 		return
 	}
+	jr := ms.journal()
 	for {
+		// A halted journal (write failure or deterministic kill) stops
+		// the machine mid-advance: the crash being modeled stops here.
+		if jr != nil && jr.stop.Load() {
+			return
+		}
 		if ms.inStep {
 			if ms.stepEndsAt < t {
 				// Complete the step: admit everything up to its
@@ -911,6 +950,13 @@ func (ms *machineSim) jobState(spec *JobSpec) JobState {
 }
 
 func (ms *machineSim) observed() bool { return ms.sess != nil && ms.sess.hasObs.Load() }
+
+func (ms *machineSim) journal() *sessionJournal {
+	if ms.sess == nil {
+		return nil
+	}
+	return ms.sess.jr
+}
 
 func (ms *machineSim) emit(ev Event) { ms.sess.dispatch(ev) }
 

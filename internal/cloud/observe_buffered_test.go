@@ -1,0 +1,166 @@
+package cloud_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"qcloud/internal/cloud"
+)
+
+// evKey flattens the order-relevant event fields for sequence
+// comparison (Job/Handle are pointers and excluded).
+func evKey(ev cloud.Event) string {
+	return fmt.Sprintf("%s|%s|%s|%v|%d|%d", ev.Kind, ev.Machine, ev.Time.Format(time.RFC3339Nano), ev.Background, ev.Pending, ev.Attempt)
+}
+
+// runWithObserver opens a session, attaches events via attach, submits
+// the standard spec stream and runs it, returning the collected event
+// keys and the trace hash.
+func runWithObserver(t *testing.T, attach func(s *cloud.Session) (<-chan cloud.Event, error)) ([]string, string) {
+	t.Helper()
+	cfg := cloud.Config{Seed: 7, Start: sessWindow.start, End: sessWindow.end,
+		Machines: sessMachines(), Workers: 1}
+	s, err := cloud.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ch <-chan cloud.Event
+	if attach != nil {
+		if ch, err = attach(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var keys []string
+	done := make(chan struct{})
+	if ch != nil {
+		go func() {
+			defer close(done)
+			for ev := range ch {
+				keys = append(keys, evKey(ev))
+			}
+		}()
+	} else {
+		close(done)
+	}
+	for _, sp := range sessSpecs() {
+		if _, err := s.Submit(sp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	return keys, traceHash(t, tr)
+}
+
+// athensFilter keeps the comparison deterministic: events from one
+// machine arrive in its advance-loop order, while cross-machine
+// interleaving is unordered by design.
+func athensFilter() cloud.EventFilter {
+	return cloud.EventFilter{Machines: []string{"ibmq_athens"}}
+}
+
+// TestObserveBufferedBlockLosesNothing: a tiny BlockOnFull buffer
+// backpressures the simulation instead of dropping, so the delivered
+// sequence is exactly the unbounded observer's — and the trace is
+// untouched by the stalls.
+func TestObserveBufferedBlockLosesNothing(t *testing.T) {
+	wantKeys, wantHash := runWithObserver(t, func(s *cloud.Session) (<-chan cloud.Event, error) {
+		return s.Observe(athensFilter())
+	})
+	var bo *cloud.BufferedObserver
+	gotKeys, gotHash := runWithObserver(t, func(s *cloud.Session) (<-chan cloud.Event, error) {
+		var err error
+		bo, err = s.ObserveBuffered(athensFilter(), 3, cloud.BlockOnFull)
+		if err != nil {
+			return nil, err
+		}
+		return bo.Events(), nil
+	})
+	if gotHash != wantHash {
+		t.Fatal("trace hash moved under a blocking bounded observer")
+	}
+	if bo.Dropped() != 0 {
+		t.Fatalf("BlockOnFull dropped %d events", bo.Dropped())
+	}
+	if len(gotKeys) != len(wantKeys) {
+		t.Fatalf("bounded observer saw %d events, unbounded saw %d", len(gotKeys), len(wantKeys))
+	}
+	for i := range gotKeys {
+		if gotKeys[i] != wantKeys[i] {
+			t.Fatalf("event %d differs:\n got %s\nwant %s", i, gotKeys[i], wantKeys[i])
+		}
+	}
+}
+
+// TestObserveBufferedDropOldestBounds: with no consumer attached until
+// the run ends, a DropOldest observer keeps its backlog bounded by
+// shedding oldest events; delivered + dropped accounts for every
+// matched event, and the simulation never stalls.
+func TestObserveBufferedDropOldestBounds(t *testing.T) {
+	wantKeys, wantHash := runWithObserver(t, func(s *cloud.Session) (<-chan cloud.Event, error) {
+		return s.Observe(athensFilter())
+	})
+
+	cfg := cloud.Config{Seed: 7, Start: sessWindow.start, End: sessWindow.end,
+		Machines: sessMachines(), Workers: 1}
+	s, err := cloud.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bo, err := s.ObserveBuffered(athensFilter(), 16, cloud.DropOldest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range sessSpecs() {
+		if _, err := s.Submit(sp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traceHash(t, tr) != wantHash {
+		t.Fatal("trace hash moved under a dropping bounded observer")
+	}
+	var got []string
+	for ev := range bo.Events() {
+		got = append(got, evKey(ev))
+	}
+	if bo.Dropped() == 0 {
+		t.Fatal("expected drops with an unconsumed 16-event buffer")
+	}
+	if int64(len(got))+bo.Dropped() != int64(len(wantKeys)) {
+		t.Fatalf("delivered %d + dropped %d != matched %d", len(got), bo.Dropped(), len(wantKeys))
+	}
+	// What survives is a subsequence of the full stream — drops shed
+	// events, never reorder or corrupt them.
+	i := 0
+	for _, k := range got {
+		for i < len(wantKeys) && wantKeys[i] != k {
+			i++
+		}
+		if i == len(wantKeys) {
+			t.Fatalf("delivered event not in (or out of order with) the full stream: %s", k)
+		}
+		i++
+	}
+}
+
+// TestObserveBufferedRejectsBadBound pins the argument contract.
+func TestObserveBufferedRejectsBadBound(t *testing.T) {
+	cfg := cloud.Config{Seed: 7, Start: sessWindow.start, End: sessWindow.end,
+		Machines: sessMachines()}
+	s, err := cloud.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.ObserveBuffered(cloud.EventFilter{}, 0, cloud.BlockOnFull); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}

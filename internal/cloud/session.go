@@ -162,20 +162,34 @@ type Session struct {
 	observers []*observer
 	hasObs    atomic.Bool
 	closed    bool
+
+	// jr is non-nil when the session journals durably (Config.Journal).
+	jr *sessionJournal
 }
 
 // Open initializes a session over the configured window: one machine
 // state machine per fleet member, constructed in parallel under the
-// config's worker budget.
+// config's worker budget. With Config.Journal set, fresh journal
+// streams are created (an existing journal must go through Recover).
 func Open(cfg Config) (*Session, error) {
 	c := cfg.withDefaults()
 	s := &Session{cfg: c, byName: make(map[string]*machineSim)}
 	s.sims = make([]*machineSim, len(c.Machines))
 	par.ForEach(len(c.Machines), c.Workers, func(i int) {
 		s.sims[i] = newMachineSim(c, c.Machines[i], s)
+		s.sims[i].idx = i
 	})
 	for _, ms := range s.sims {
 		s.byName[ms.m.Name] = ms
+	}
+	if c.Journal != nil {
+		if c.Journal.Dir == "" {
+			return nil, errors.New("cloud: Config.Journal needs a Dir")
+		}
+		s.cfg.Journal = c.Journal.withDefaults()
+		if err := openSessionJournal(s, s.cfg.Journal); err != nil {
+			return nil, err
+		}
 	}
 	return s, nil
 }
@@ -194,7 +208,18 @@ func (s *Session) Submit(spec *JobSpec) (*JobHandle, error) {
 	if ms == nil {
 		return nil, fmt.Errorf("cloud: study job targets unknown machine %q", spec.Machine)
 	}
-	return ms.submit(spec)
+	h, err := ms.submit(spec)
+	if err != nil {
+		return nil, err
+	}
+	// Journaled sessions log every accepted submission before
+	// acknowledging it — the input log recovery replays from.
+	if s.jr != nil {
+		if jerr := s.jr.appendSubmit(ms, spec); jerr != nil {
+			return nil, jerr
+		}
+	}
+	return h, nil
 }
 
 // SubmitRetried submits like Submit but re-attempts transient
@@ -276,6 +301,9 @@ func (s *Session) AdvanceTo(t time.Time) {
 		ms := s.sims[i]
 		ms.advanceTo(ms.toSec(t))
 	})
+	if s.jr != nil {
+		s.journalAfterAdvance(t)
+	}
 }
 
 // QueueState returns the live queue snapshot of one machine at its
@@ -294,7 +322,59 @@ func (s *Session) QueueState(machine string) (QueueSnapshot, error) {
 // closes once the session ends and the backlog has drained. Observing
 // a closed session returns ErrSessionClosed.
 func (s *Session) Observe(f EventFilter) (<-chan Event, error) {
+	o, err := s.attachObserver(newObserver(f))
+	if err != nil {
+		return nil, err
+	}
+	return o.ch, nil
+}
+
+// OverflowPolicy selects what a bounded observer does when its buffer
+// is full.
+type OverflowPolicy int
+
+const (
+	// BlockOnFull stalls the producing machine until the consumer
+	// drains — backpressure: no event is ever lost, at the cost of
+	// coupling simulation speed to the consumer.
+	BlockOnFull OverflowPolicy = iota
+	// DropOldest evicts the oldest buffered events to admit new ones;
+	// the simulation never stalls and Dropped counts the evictions.
+	DropOldest
+)
+
+// BufferedObserver is a bounded event subscription (ObserveBuffered).
+type BufferedObserver struct {
+	o *observer
+}
+
+// Events is the subscription channel; it closes once the session ends
+// and the (bounded) backlog drains.
+func (b *BufferedObserver) Events() <-chan Event { return b.o.ch }
+
+// Dropped reports how many events a DropOldest observer has evicted.
+func (b *BufferedObserver) Dropped() int64 { return b.o.dropped.Load() }
+
+// ObserveBuffered subscribes like Observe but bounds the observer's
+// backlog to n events, so a slow consumer on a long (million-job)
+// session costs O(n) memory instead of an unbounded buffer. The policy
+// picks the overflow behavior: BlockOnFull backpressures the
+// simulation, DropOldest sheds the oldest events and counts them. The
+// default Observe path is untouched — unbounded, never blocking.
+func (s *Session) ObserveBuffered(f EventFilter, n int, policy OverflowPolicy) (*BufferedObserver, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cloud: ObserveBuffered needs a positive buffer bound, got %d", n)
+	}
 	o := newObserver(f)
+	o.limit = n
+	o.policy = policy
+	if _, err := s.attachObserver(o); err != nil {
+		return nil, err
+	}
+	return &BufferedObserver{o: o}, nil
+}
+
+func (s *Session) attachObserver(o *observer) (*observer, error) {
 	s.obsMu.Lock()
 	closed := s.closed
 	if !closed {
@@ -306,15 +386,24 @@ func (s *Session) Observe(f EventFilter) (<-chan Event, error) {
 	}
 	s.hasObs.Store(true)
 	go o.pump()
-	return o.ch, nil
+	return o, nil
 }
 
 // Run advances every machine to the end of the window, assembles the
 // trace exactly as the batch simulation does (job IDs in fleet order,
-// then submit-time order), and closes the session.
+// then submit-time order), and closes the session. A journaled session
+// drains through its journal and reads the trace back from disk — the
+// bytes are identical either way.
 func (s *Session) Run() (*trace.Trace, error) {
 	if s.closed {
 		return nil, ErrSessionClosed
+	}
+	if s.jr != nil {
+		cfg := s.cfg
+		if _, err := s.DrainJournal(); err != nil {
+			return nil, err
+		}
+		return ReadJournalTrace(cfg)
 	}
 	par.ForEach(len(s.sims), s.cfg.Workers, func(i int) {
 		s.sims[i].finalize()
@@ -360,6 +449,9 @@ func (s *Session) Close() error {
 	for _, o := range obs {
 		o.finish()
 	}
+	if s.jr != nil {
+		return s.jr.close()
+	}
 	return nil
 }
 
@@ -394,6 +486,13 @@ type observer struct {
 	kinds    map[EventKind]bool
 	study    bool
 	ch       chan Event
+
+	// limit bounds the backlog (0 = unbounded, the Observe default);
+	// policy applies when it is hit; dropped counts DropOldest
+	// evictions.
+	limit   int
+	policy  OverflowPolicy
+	dropped atomic.Int64
 
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -436,16 +535,32 @@ func (o *observer) matches(ev Event) bool {
 
 func (o *observer) send(ev Event) {
 	o.mu.Lock()
+	if o.limit > 0 && len(o.buf) >= o.limit {
+		switch o.policy {
+		case BlockOnFull:
+			// Backpressure: park the producing machine until the pump
+			// takes the batch (or the session finishes).
+			for len(o.buf) >= o.limit && !o.done {
+				o.cond.Wait()
+			}
+		case DropOldest:
+			drop := len(o.buf) - o.limit + 1
+			o.buf = append(o.buf[:0], o.buf[drop:]...)
+			o.dropped.Add(int64(drop))
+		}
+	}
 	o.buf = append(o.buf, ev)
 	o.mu.Unlock()
-	o.cond.Signal()
+	// Broadcast, not Signal: with a bounded Block observer both the
+	// pump and stalled producers may be waiting on the same cond.
+	o.cond.Broadcast()
 }
 
 func (o *observer) finish() {
 	o.mu.Lock()
 	o.done = true
 	o.mu.Unlock()
-	o.cond.Signal()
+	o.cond.Broadcast()
 }
 
 // pump is the session's owned event-delivery goroutine: it drains the
@@ -465,6 +580,9 @@ func (o *observer) pump() {
 		o.buf = nil
 		done := o.done
 		o.mu.Unlock()
+		// Taking the batch freed the whole buffer — wake any producers
+		// blocked on a full bounded buffer.
+		o.cond.Broadcast()
 		for _, ev := range batch {
 			o.ch <- ev
 		}

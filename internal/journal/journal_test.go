@@ -1,0 +1,534 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// testPayloads builds a deterministic record set with size variety:
+// empty records, one-byte records, and records big enough to straddle
+// flush chunks.
+func testPayloads(n int) [][]byte {
+	r := rand.New(rand.NewSource(7))
+	out := make([][]byte, n)
+	for i := range out {
+		var size int
+		switch i % 5 {
+		case 0:
+			size = 0
+		case 1:
+			size = 1
+		case 2:
+			size = 37
+		case 3:
+			size = 1024
+		default:
+			size = 300 + r.Intn(2000)
+		}
+		p := make([]byte, size)
+		r.Read(p)
+		out[i] = p
+	}
+	return out
+}
+
+func writeStream(t *testing.T, dir string, payloads [][]byte, opts Options) *Writer {
+	t.Helper()
+	w, err := Create(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range payloads {
+		if err := w.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return w
+}
+
+// readAll replays the stream and returns copies of every payload.
+func readAll(t *testing.T, dir string) ([][]byte, ScanResult) {
+	t.Helper()
+	var got [][]byte
+	res, err := ForEach(dir, func(rec int64, payload []byte) error {
+		if int64(len(got)) != rec {
+			return fmt.Errorf("record index %d delivered out of order (have %d)", rec, len(got))
+		}
+		got = append(got, bytes.Clone(payload))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, res
+}
+
+func checkPrefix(t *testing.T, got, want [][]byte, n int) {
+	t.Helper()
+	if len(got) != n {
+		t.Fatalf("recovered %d records, want %d", len(got), n)
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d corrupted on replay", i)
+		}
+	}
+}
+
+func TestRoundTripWithRotation(t *testing.T) {
+	dir := t.TempDir()
+	payloads := testPayloads(400)
+	// Small segments force many rotations.
+	w := writeStream(t, dir, payloads, Options{SegmentBytes: 8 << 10})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	starts, err := segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(starts) < 4 {
+		t.Fatalf("expected several segments at 8KiB rotation, got %d", len(starts))
+	}
+	got, res := readAll(t, dir)
+	checkPrefix(t, got, payloads, len(payloads))
+	if res.Truncated || res.Records != int64(len(payloads)) {
+		t.Fatalf("clean stream misread: %+v", res)
+	}
+	if res.Bytes != w.Bytes() {
+		t.Fatalf("reader bytes %d != writer bytes %d", res.Bytes, w.Bytes())
+	}
+}
+
+func TestEmptyAndMissingStream(t *testing.T) {
+	res, err := Scan(filepath.Join(t.TempDir(), "nothing-here"))
+	if err != nil || res.Records != 0 || res.Truncated {
+		t.Fatalf("missing dir should scan clean and empty: %+v err=%v", res, err)
+	}
+	dir := t.TempDir()
+	w, err := Create(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res, err = Scan(dir)
+	if err != nil || res.Records != 0 || res.Truncated {
+		t.Fatalf("empty stream should scan clean: %+v err=%v", res, err)
+	}
+}
+
+// lastSegment returns the path and contents of the stream's final
+// segment and the record count of everything before its last record.
+func lastSegment(t *testing.T, dir string) (string, []byte) {
+	t.Helper()
+	starts, err := segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := segPath(dir, starts[len(starts)-1])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, data
+}
+
+// TestTruncateFinalRecordEveryOffset chops the stream's last segment
+// at every byte offset inside its final frame. The reader must always
+// recover exactly the records before it — a torn tail never yields a
+// partial or garbage record.
+func TestTruncateFinalRecordEveryOffset(t *testing.T) {
+	dir := t.TempDir()
+	payloads := testPayloads(23)
+	w := writeStream(t, dir, payloads, Options{SegmentBytes: 4 << 10})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path, data := lastSegment(t, dir)
+	last := payloads[len(payloads)-1]
+	frameLen := frameHeaderLen + len(last)
+	frameStart := len(data) - frameLen
+	if frameStart < 0 {
+		t.Fatalf("last segment smaller than final frame (%d < %d)", len(data), frameLen)
+	}
+	for off := frameStart; off < len(data); off++ {
+		if err := os.WriteFile(path, data[:off], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, res := readAll(t, dir)
+		checkPrefix(t, got, payloads, len(payloads)-1)
+		if off == frameStart {
+			// Chopped exactly at the frame boundary: a clean tail.
+			if res.Truncated {
+				t.Fatalf("offset %d: clean boundary reported as damage: %+v", off, res)
+			}
+			continue
+		}
+		if !res.Truncated || res.Reason != "torn frame" {
+			t.Fatalf("offset %d: want torn-frame truncation, got %+v", off, res)
+		}
+		if res.DroppedBytes != int64(off-frameStart) {
+			t.Fatalf("offset %d: dropped %d bytes, want %d", off, res.DroppedBytes, off-frameStart)
+		}
+	}
+}
+
+// TestBitFlipEveryFrameField flips one bit in each field of each
+// frame — length, checksum, payload — and asserts the reader always
+// recovers exactly the records before the damaged frame.
+func TestBitFlipEveryFrameField(t *testing.T) {
+	dir := t.TempDir()
+	payloads := testPayloads(9)
+	// Single segment so frame offsets are easy to compute.
+	w := writeStream(t, dir, payloads, Options{})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path, data := lastSegment(t, dir)
+	offsets := make([]int, len(payloads))
+	off := 0
+	for i, p := range payloads {
+		offsets[i] = off
+		off += frameHeaderLen + len(p)
+	}
+	for i, p := range payloads {
+		fields := map[string]int{
+			"length":   offsets[i] + 1,
+			"checksum": offsets[i] + 5,
+		}
+		if len(p) > 0 {
+			fields["payload"] = offsets[i] + frameHeaderLen + len(p)/2
+		}
+		for field, target := range fields {
+			corrupt := bytes.Clone(data)
+			corrupt[target] ^= 0x10
+			if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			got, res := readAll(t, dir)
+			checkPrefix(t, got, payloads, i)
+			if !res.Truncated {
+				t.Fatalf("record %d %s flip: damage not reported: %+v", i, field, res)
+			}
+			switch res.Reason {
+			case "checksum mismatch", "torn frame", "implausible frame length":
+			default:
+				t.Fatalf("record %d %s flip: unexpected reason %q", i, field, res.Reason)
+			}
+		}
+	}
+}
+
+// TestImplausibleLengthRejected sets a frame length beyond the cap;
+// the reader must refuse it without attempting the allocation.
+func TestImplausibleLengthRejected(t *testing.T) {
+	dir := t.TempDir()
+	payloads := testPayloads(4)
+	w := writeStream(t, dir, payloads, Options{})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path, data := lastSegment(t, dir)
+	data[3] = 0xff // length's top byte: claims ~4 GiB
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, res := readAll(t, dir)
+	checkPrefix(t, got, payloads, 0)
+	if !res.Truncated || res.Reason != "implausible frame length" {
+		t.Fatalf("want implausible-length truncation, got %+v", res)
+	}
+}
+
+// TestSegmentGap deletes a middle segment; the reader must stop at the
+// gap rather than splice disconnected records together.
+func TestSegmentGap(t *testing.T) {
+	dir := t.TempDir()
+	payloads := testPayloads(300)
+	w := writeStream(t, dir, payloads, Options{SegmentBytes: 8 << 10})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	starts, err := segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(starts) < 3 {
+		t.Fatalf("need >= 3 segments, got %d", len(starts))
+	}
+	if err := os.Remove(segPath(dir, starts[1])); err != nil {
+		t.Fatal(err)
+	}
+	got, res := readAll(t, dir)
+	checkPrefix(t, got, payloads, int(starts[1]))
+	if !res.Truncated || res.Reason != "segment gap" {
+		t.Fatalf("want segment-gap truncation, got %+v", res)
+	}
+}
+
+func TestOpenAtResume(t *testing.T) {
+	payloads := testPayloads(200)
+	opts := Options{SegmentBytes: 8 << 10}
+	// Resume points: start, mid-segment, and exact segment boundaries.
+	probe := t.TempDir()
+	w := writeStream(t, probe, payloads, opts)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	starts, err := segments(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumes := []int64{0, 1, 17, int64(len(payloads)) - 1, int64(len(payloads))}
+	for _, s := range starts {
+		resumes = append(resumes, s)
+	}
+	for _, at := range resumes {
+		t.Run(fmt.Sprintf("at=%d", at), func(t *testing.T) {
+			dir := t.TempDir()
+			w := writeStream(t, dir, payloads, opts)
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			rw, err := OpenAt(dir, at, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rw.Records() != at {
+				t.Fatalf("resumed writer reports %d records, want %d", rw.Records(), at)
+			}
+			// Append the dropped suffix again; the stream must read
+			// back as if never interrupted.
+			for _, p := range payloads[at:] {
+				if err := rw.Append(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := rw.Close(); err != nil {
+				t.Fatal(err)
+			}
+			got, res := readAll(t, dir)
+			checkPrefix(t, got, payloads, len(payloads))
+			if res.Truncated {
+				t.Fatalf("resumed stream reports damage: %+v", res)
+			}
+		})
+	}
+}
+
+func TestOpenAtTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	payloads := testPayloads(40)
+	w := writeStream(t, dir, payloads, Options{})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path, data := lastSegment(t, dir)
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rw, err := OpenAt(dir, int64(len(payloads)-1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Append(payloads[len(payloads)-1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, res := readAll(t, dir)
+	checkPrefix(t, got, payloads, len(payloads))
+	if res.Truncated {
+		t.Fatalf("tail not repaired: %+v", res)
+	}
+}
+
+func TestOpenAtPastValidPrefix(t *testing.T) {
+	dir := t.TempDir()
+	w := writeStream(t, dir, testPayloads(5), Options{})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenAt(dir, 9, Options{}); err == nil {
+		t.Fatal("OpenAt past the valid prefix must fail")
+	}
+}
+
+func TestCreateOnNonEmptyStream(t *testing.T) {
+	dir := t.TempDir()
+	w := writeStream(t, dir, testPayloads(3), Options{})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Create(dir, Options{}); err == nil {
+		t.Fatal("Create on an existing stream must fail")
+	}
+}
+
+func TestAbandonLosesOnlyUnflushedTail(t *testing.T) {
+	dir := t.TempDir()
+	payloads := testPayloads(30)
+	w, err := Create(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range payloads[:20] {
+		if err := w.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range payloads[20:] {
+		if err := w.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Abandon()
+	if err := w.Append([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after abandon: %v", err)
+	}
+	got, res := readAll(t, dir)
+	checkPrefix(t, got, payloads, 20)
+	if res.Truncated {
+		// The abandoned tail was buffered, never written: the on-disk
+		// stream ends at a clean frame boundary.
+		t.Fatalf("abandoned buffered tail should leave a clean stream: %+v", res)
+	}
+}
+
+// faultyFile injects write failures: each entry in failAt is a
+// 1-based index into the sequence of Write calls that should fail.
+type faultyFile struct {
+	f      File
+	calls  int
+	failAt map[int]bool
+	short  bool // fail with a partial write instead of none
+}
+
+func (ff *faultyFile) Write(p []byte) (int, error) {
+	ff.calls++
+	if ff.failAt[ff.calls] {
+		if ff.short && len(p) > 1 {
+			n, _ := ff.f.Write(p[:len(p)/2])
+			return n, errors.New("injected partial write")
+		}
+		return 0, errors.New("injected write failure")
+	}
+	return ff.f.Write(p)
+}
+
+func (ff *faultyFile) Sync() error  { return ff.f.Sync() }
+func (ff *faultyFile) Close() error { return ff.f.Close() }
+
+func faultyOpts(failAt map[int]bool, short bool) Options {
+	return Options{
+		RetryAppends: 3,
+		OpenFile: func(path string) (File, error) {
+			f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return nil, err
+			}
+			return &faultyFile{f: f, failAt: failAt, short: short}, nil
+		},
+	}
+}
+
+// TestTransientWriteErrorsRetried injects sporadic write failures
+// (full and partial) below the retry cap; the stream must come out
+// intact.
+func TestTransientWriteErrorsRetried(t *testing.T) {
+	for _, short := range []bool{false, true} {
+		dir := t.TempDir()
+		payloads := testPayloads(50)
+		failAt := map[int]bool{1: true, 3: true, 7: true, 8: true}
+		w, err := Create(dir, faultyOpts(failAt, short))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range payloads {
+			if err := w.Append(p); err != nil {
+				t.Fatal(err)
+			}
+			// Flush each record so every Append exercises the faulty
+			// write path.
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, res := readAll(t, dir)
+		checkPrefix(t, got, payloads, len(payloads))
+		if res.Truncated {
+			t.Fatalf("short=%v: stream damaged: %+v", short, res)
+		}
+	}
+}
+
+// TestPersistentWriteErrorFailStops injects more consecutive failures
+// than the retry cap: the writer must fail-stop with a sticky error,
+// and the records flushed before the failure must still read back.
+func TestPersistentWriteErrorFailStops(t *testing.T) {
+	dir := t.TempDir()
+	payloads := testPayloads(10)
+	// Fail every write from the 6th on, forever.
+	failAt := map[int]bool{}
+	for i := 6; i < 200; i++ {
+		failAt[i] = true
+	}
+	w, err := Create(dir, faultyOpts(failAt, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stuck error
+	good := 0
+	for _, p := range payloads {
+		if err := w.Append(p); err != nil {
+			stuck = err
+			break
+		}
+		if err := w.Flush(); err != nil {
+			stuck = err
+			break
+		}
+		good++
+	}
+	if stuck == nil {
+		t.Fatal("persistent write failures did not surface")
+	}
+	if w.Err() == nil {
+		t.Fatal("writer did not fail-stop")
+	}
+	if err := w.Append([]byte("more")); !errors.Is(err, w.Err()) {
+		t.Fatalf("append after fail-stop returned %v, want sticky %v", err, w.Err())
+	}
+	got, res := readAll(t, dir)
+	checkPrefix(t, got, payloads, good)
+	_ = res // a partial flush may leave a torn tail; the prefix is what matters
+}
+
+// TestSyncEveryCadence smoke-checks the fsync cadence path end to end.
+func TestSyncEveryCadence(t *testing.T) {
+	dir := t.TempDir()
+	payloads := testPayloads(64)
+	w := writeStream(t, dir, payloads, Options{SyncEvery: 5})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, res := readAll(t, dir)
+	checkPrefix(t, got, payloads, len(payloads))
+	if res.Truncated {
+		t.Fatalf("stream damaged: %+v", res)
+	}
+}

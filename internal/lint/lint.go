@@ -138,6 +138,7 @@ var DeterministicPackages = []string{
 	"qcloud/internal/trace",
 	"qcloud/internal/sched",
 	"qcloud/internal/workload",
+	"qcloud/internal/journal",
 }
 
 // Vet runs every applicable analyzer over the packages and returns all

@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// streamJobs builds a deterministic job set covering the field space:
+// every status, empty and long strings, zero and large counters.
+func streamJobs() []*Job {
+	base := time.Date(2019, 3, 14, 9, 26, 53, 589793238, time.UTC)
+	r := rand.New(rand.NewSource(11))
+	statuses := []Status{StatusDone, StatusError, StatusCancelled}
+	jobs := make([]*Job, 64)
+	for i := range jobs {
+		submit := base.Add(time.Duration(i) * 97 * time.Minute)
+		start := submit.Add(time.Duration(r.Intn(7200)) * time.Second)
+		jobs[i] = &Job{
+			ID:            int64(i),
+			User:          "",
+			Machine:       "ibmq_athens",
+			MachineQubits: 5 + i%60,
+			Public:        i%2 == 0,
+			CircuitName:   "qft",
+			BatchSize:     1 + i%900,
+			Shots:         1 + r.Intn(8192),
+			Width:         1 + i%27,
+			TotalDepth:    r.Intn(1 << 20),
+			TotalGateOps:  r.Intn(1 << 24),
+			CXTotal:       r.Intn(1 << 16),
+			MemSlots:      i % 32,
+			SubmitTime:    submit,
+			StartTime:     start,
+			EndTime:       start.Add(time.Duration(r.Intn(3600)) * time.Second),
+			Status:        statuses[i%3],
+			CompileEpoch:  i,
+			ExecEpoch:     i + i%2,
+		}
+		if i%5 == 0 {
+			jobs[i].User = "user-with-a-longer-name-0123456789"
+			jobs[i].CircuitName = ""
+		}
+	}
+	return jobs
+}
+
+func TestJobStreamRoundTrip(t *testing.T) {
+	var buf []byte
+	jobs := streamJobs()
+	var frames [][]byte
+	for _, j := range jobs {
+		buf = buf[:0]
+		buf = AppendJob(buf, j)
+		frames = append(frames, bytes.Clone(buf))
+	}
+	for i, f := range frames {
+		got, err := DecodeJob(f)
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, jobs[i]) {
+			t.Fatalf("job %d round-trip mismatch:\n got %+v\nwant %+v", i, got, jobs[i])
+		}
+		// The JSON view — what traces are compared by — must be
+		// byte-identical too (UTC locations, nanosecond precision).
+		gj, _ := json.Marshal(got)
+		wj, _ := json.Marshal(jobs[i])
+		if !bytes.Equal(gj, wj) {
+			t.Fatalf("job %d JSON mismatch:\n got %s\nwant %s", i, gj, wj)
+		}
+	}
+}
+
+// TestJobStreamTruncationSafe decodes every strict prefix of an
+// encoded record and a version-mangled copy: all must error, none may
+// panic.
+func TestJobStreamTruncationSafe(t *testing.T) {
+	j := streamJobs()[7]
+	full := AppendJob(nil, j)
+	for n := 0; n < len(full); n++ {
+		if _, err := DecodeJob(full[:n]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", n, len(full))
+		}
+	}
+	if _, err := DecodeJob(append(bytes.Clone(full), 0x7f)); err == nil {
+		t.Fatal("trailing garbage decoded without error")
+	}
+	bad := bytes.Clone(full)
+	bad[0] = 99
+	if _, err := DecodeJob(bad); err == nil {
+		t.Fatal("unknown wire version decoded without error")
+	}
+}
+
+func TestSnapshotChecksumRoundTrip(t *testing.T) {
+	type payload struct {
+		Name  string
+		Count int
+		When  time.Time
+	}
+	in := payload{Name: "fleet", Count: 42, When: time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC)}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, 2, in); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	v, err := ReadSnapshot(bytes.NewReader(buf.Bytes()), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 || !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: version %d payload %+v", v, out)
+	}
+}
+
+// TestSnapshotBitFlipRejected flips one bit at every byte position of
+// a checksummed snapshot: every corruption must surface as a clear
+// error (never a panic, never a silent wrong decode).
+func TestSnapshotBitFlipRejected(t *testing.T) {
+	type payload struct {
+		Name  string
+		Count int
+	}
+	in := payload{Name: "fleet", Count: 42}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, 2, in); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for pos := 0; pos < len(data); pos++ {
+		corrupt := bytes.Clone(data)
+		corrupt[pos] ^= 0x04
+		var out payload
+		v, err := ReadSnapshot(bytes.NewReader(corrupt), &out)
+		if err == nil && v == 2 && reflect.DeepEqual(in, out) {
+			// Flipping the version byte alone changes the envelope,
+			// not the payload; the caller's version check owns that.
+			if pos != len(snapshotMagic) {
+				t.Fatalf("bit flip at byte %d went undetected", pos)
+			}
+		}
+	}
+	// Torn footer: a file cut inside the checksum is corrupt, not
+	// silently short.
+	var out payload
+	if _, err := ReadSnapshot(bytes.NewReader(data[:len(data)-2]), &out); err == nil {
+		t.Fatal("torn checksum footer went undetected")
+	}
+}
+
+// TestSnapshotV1StillReadable pins backward compatibility: version-1
+// envelopes (pre-checksum) decode as before.
+func TestSnapshotV1StillReadable(t *testing.T) {
+	type payload struct{ Count int }
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, 1, payload{Count: 7}); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	v, err := ReadSnapshot(bytes.NewReader(buf.Bytes()), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 || out.Count != 7 {
+		t.Fatalf("v1 decode: version %d payload %+v", v, out)
+	}
+}
