@@ -34,6 +34,7 @@ import (
 	"qcloud/internal/compile"
 	"qcloud/internal/par"
 	"qcloud/internal/qsim"
+	"qcloud/internal/tenant"
 	"qcloud/internal/workload"
 )
 
@@ -206,7 +207,7 @@ func fig7Jobs(machines []*backend.Machine, n, shots, reps int, at time.Time, see
 	return jobs, nil
 }
 
-func run(iters, maxWidth, shots, journalJobs int) (*Report, error) {
+func run(iters, maxWidth, shots, journalJobs, tenantJobs int) (*Report, error) {
 	rep := &Report{
 		Date:      time.Now().UTC().Format("2006-01-02"),
 		GoVersion: runtime.Version(),
@@ -483,6 +484,62 @@ func run(iters, maxWidth, shots, journalJobs int) (*Report, error) {
 		}
 	}
 
+	// CloudMultiTenant: the tenant brokering layer's cost over direct
+	// submission. The same skewed-contention stream (8 tenants,
+	// Zipf-weighted shares) runs three ways: specs pushed straight into
+	// the session (no quotas, first-come order), through the fair-share
+	// broker, and through the broker with preemption enabled. The
+	// broker rows price the quota tree, the decayed ledger and the
+	// per-tick admission pass.
+	if tenantJobs > 0 {
+		sc, err := workload.FindTenantScenario("skewed")
+		if err != nil {
+			return nil, err
+		}
+		tenantCfg := func() (tenant.Config, []tenant.Submission) {
+			return sc.Build(workload.TenantConfig{
+				Seed: 7, Start: cloudStart, End: cloudEnd, TotalJobs: tenantJobs,
+			})
+		}
+		brokered := func(preempt bool) func() error {
+			return func() error {
+				tcfg, subs := tenantCfg()
+				tcfg.Preemption = preempt
+				b, err := tenant.Open(cloudCfg(4), tcfg)
+				if err != nil {
+					return err
+				}
+				if err := b.Play(subs); err != nil {
+					return err
+				}
+				_, err = b.Run()
+				return err
+			}
+		}
+		for _, mode := range []struct {
+			name string
+			f    func() error
+		}{
+			{"CloudMultiTenant/direct", func() error {
+				_, subs := tenantCfg()
+				specs := make([]*cloud.JobSpec, len(subs))
+				for i, sub := range subs {
+					s := *sub.Spec
+					s.User = "tenant:" + sub.Queue
+					specs[i] = &s
+				}
+				_, err := cloud.Simulate(cloudCfg(4), specs)
+				return err
+			}},
+			{"CloudMultiTenant/broker", brokered(false)},
+			{"CloudMultiTenant/broker-preempt", brokered(true)},
+		} {
+			if err := add(measure(mode.name, iters, mode.f)); err != nil {
+				return nil, err
+			}
+		}
+	}
+
 	// CloudJournaledSession: the ROADMAP's million-job constant-memory
 	// contract. The same year-long study stream runs through an
 	// in-memory session (the finished trace accumulates until Run) and
@@ -604,6 +661,10 @@ func run(iters, maxWidth, shots, journalJobs int) (*Report, error) {
 		// Durability cost: what streaming every finished job to the WAL
 		// (plus auto-checkpoints) costs over holding the trace in memory.
 		{"CloudJournaledSession", "CloudJournaledSession/in-memory", "CloudJournaledSession/journaled", "in-memory"},
+		// Brokering cost: the fair-share admission layer (and preemption
+		// on top) against pushing the same stream straight in.
+		{"CloudMultiTenant", "CloudMultiTenant/direct", "CloudMultiTenant/broker", "direct-submit"},
+		{"CloudMultiTenant/preempt", "CloudMultiTenant/broker", "CloudMultiTenant/broker-preempt", "broker-no-preempt"},
 	}
 	for _, n := range []int{16, 20, 22} {
 		if n > maxWidth {
@@ -671,10 +732,11 @@ func main() {
 		notes    = flag.String("notes", "", "free-form notes recorded in the report (what the run establishes)")
 		md       = flag.Bool("md", false, "also print the results as a markdown table")
 		jrnlJobs = flag.Int("journal-jobs", 1000000, "job count for the journaled-session rows (single timed pass each; 0 skips them, lower it for quick smoke runs)")
+		tenJobs  = flag.Int("tenant-jobs", 2000, "submission count for the multi-tenant broker rows (0 skips them)")
 	)
 	flag.Parse()
 
-	rep, err := run(*iters, *maxWidth, *shots, *jrnlJobs)
+	rep, err := run(*iters, *maxWidth, *shots, *jrnlJobs, *tenJobs)
 	if err != nil {
 		log.Fatal(err)
 	}

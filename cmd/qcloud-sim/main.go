@@ -25,6 +25,15 @@
 //	qcloud-sim -seed 42 -faults adversarial -restore snap.qcsn -csv trace.csv
 //	qcloud-sim -seed 42 -journal run.journal -csv trace.csv
 //	qcloud-sim -seed 42 -journal run.journal -recover -csv trace.csv
+//
+// -tenants runs a multi-tenant brokered session instead: a
+// workload.TenantScenarios preset builds a quota tree plus a
+// contention stream, a tenant.Broker admits jobs by time-decayed
+// fair share, and the per-queue fairness table is printed after the
+// run.
+//
+//	qcloud-sim -seed 42 -tenants skewed -days 21
+//	qcloud-sim -seed 42 -tenants priority-inversion -preempt off
 package main
 
 import (
@@ -38,6 +47,7 @@ import (
 	"qcloud/internal/backend"
 	"qcloud/internal/cloud"
 	"qcloud/internal/par"
+	"qcloud/internal/tenant"
 	"qcloud/internal/trace"
 	"qcloud/internal/workload"
 )
@@ -60,6 +70,9 @@ func main() {
 		recov    = flag.Bool("recover", false, "resume a killed -journal run from its journal directory and finish it")
 		jrnlDays = flag.Float64("journal-ckpt-days", 30, "auto-checkpoint cadence for -journal, in simulated days")
 		days     = flag.Float64("days", 0, "length of the simulated window in days (0 = the full two-year study window)")
+		tenants  = flag.String("tenants", "", "multi-tenant scenario preset: run a brokered session and print the fairness table (see -tenants list)")
+		tcount   = flag.Int("tenant-count", 0, "tenant queue count for -tenants (0 = scenario default)")
+		preempt  = flag.String("preempt", "scenario", "broker preemption for -tenants: scenario, on, or off")
 		quiet    = flag.Bool("q", false, "suppress the summary")
 	)
 	flag.Parse()
@@ -88,6 +101,13 @@ func main() {
 			log.Fatalf("%v (available: %s)", err, strings.Join(names, ", "))
 		}
 		cfg = sc.Apply(cfg)
+	}
+	if *tenants != "" {
+		if *journal != "" || *recov || *restore != "" || *ckptPath != "" {
+			log.Fatal("-tenants cannot combine with -journal/-recover/-restore/-checkpoint")
+		}
+		runTenants(cfg, *tenants, *tcount, *jobs, *preempt, *events, *csvPath, *jsPath, *quiet)
+		return
 	}
 	var sess *cloud.Session
 	var err error
@@ -177,8 +197,19 @@ func main() {
 		log.Fatal(err)
 	}
 
-	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
+	writeOutputs(tr, *csvPath, *jsPath)
+	if *events {
+		printEventTally(<-tallied)
+	}
+	if *quiet {
+		return
+	}
+	printSummary(tr, *csvPath, *jsPath)
+}
+
+func writeOutputs(tr *trace.Trace, csvPath, jsPath string) {
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -189,8 +220,8 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	if *jsPath != "" {
-		f, err := os.Create(*jsPath)
+	if jsPath != "" {
+		f, err := os.Create(jsPath)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -201,20 +232,20 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	if *events {
-		counts := <-tallied
-		fmt.Println("session events (study + background):")
-		for _, k := range []cloud.EventKind{
-			cloud.EventEnqueue, cloud.EventStart, cloud.EventDone, cloud.EventError,
-			cloud.EventCancel, cloud.EventDowntime, cloud.EventPendingSample,
-			cloud.EventMachineDown, cloud.EventMachineUp, cloud.EventRetry, cloud.EventRequeue,
-		} {
-			fmt.Printf("  %-15s %d\n", k, counts[k])
-		}
+}
+
+func printEventTally(counts map[cloud.EventKind]int64) {
+	fmt.Println("session events (study + background):")
+	for _, k := range []cloud.EventKind{
+		cloud.EventEnqueue, cloud.EventStart, cloud.EventDone, cloud.EventError,
+		cloud.EventCancel, cloud.EventDowntime, cloud.EventPendingSample,
+		cloud.EventMachineDown, cloud.EventMachineUp, cloud.EventRetry, cloud.EventRequeue,
+	} {
+		fmt.Printf("  %-15s %d\n", k, counts[k])
 	}
-	if *quiet {
-		return
-	}
+}
+
+func printSummary(tr *trace.Trace, csvPath, jsPath string) {
 	var circuits, trials int64
 	statuses := map[trace.Status]int{}
 	for _, j := range tr.Jobs {
@@ -227,7 +258,74 @@ func main() {
 	fmt.Printf("trials:   %d\n", trials)
 	fmt.Printf("statuses: DONE=%d ERROR=%d CANCELLED=%d\n",
 		statuses[trace.StatusDone], statuses[trace.StatusError], statuses[trace.StatusCancelled])
-	if *csvPath == "" && *jsPath == "" {
+	if csvPath == "" && jsPath == "" {
 		fmt.Println("(no -csv/-json output requested; summary only)")
 	}
+}
+
+// runTenants is the -tenants mode: build the scenario's quota tree and
+// contention stream, drive it through a tenant.Broker over the session
+// and print the per-queue fairness table plus run-level metrics.
+func runTenants(cfg cloud.Config, scenario string, tenantCount, jobs int, preempt string, events bool, csvPath, jsPath string, quiet bool) {
+	sc, err := workload.FindTenantScenario(scenario)
+	if err != nil {
+		var names []string
+		for _, s := range workload.TenantScenarios() {
+			names = append(names, s.Name)
+		}
+		log.Fatalf("%v (available: %s)", err, strings.Join(names, ", "))
+	}
+	tcfg, subs := sc.Build(workload.TenantConfig{
+		Seed: cfg.Seed, Start: cfg.Start, End: cfg.End,
+		Tenants: tenantCount, TotalJobs: jobs,
+	})
+	switch preempt {
+	case "scenario":
+	case "on":
+		tcfg.Preemption = true
+	case "off":
+		tcfg.Preemption = false
+	default:
+		log.Fatalf("-preempt must be scenario, on or off (got %q)", preempt)
+	}
+	b, err := tenant.Open(cfg, tcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tallied := make(chan map[cloud.EventKind]int64, 1)
+	if events {
+		stream, err := b.Session().Observe(cloud.EventFilter{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		go func() {
+			counts := make(map[cloud.EventKind]int64)
+			for ev := range stream {
+				counts[ev.Kind]++
+			}
+			tallied <- counts
+		}()
+	}
+	if err := b.Play(subs); err != nil {
+		log.Fatal(err)
+	}
+	tr, err := b.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeOutputs(tr, csvPath, jsPath)
+	if events {
+		printEventTally(<-tallied)
+	}
+	if quiet {
+		return
+	}
+	fmt.Printf("tenant scenario %q: %d submissions, preemption=%v\n", sc.Name, len(subs), tcfg.Preemption)
+	if err := b.DumpStates(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	m := b.Metrics()
+	fmt.Printf("fair-share: jain=%.4f maxdev=%.4f qpu-seconds=%.0f preemptions=%d\n",
+		m.JainIndex, m.MaxDeviation, m.TotalQPUSeconds, m.Preemptions)
+	printSummary(tr, csvPath, jsPath)
 }

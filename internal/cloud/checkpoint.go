@@ -13,9 +13,10 @@ import (
 // checkpointVersion is the snapshot payload version; bump it whenever
 // MachineCheckpoint's layout or semantics change so stale snapshots
 // are rejected instead of silently misread. Version 2 adds the CRC32C
-// snapshot footer and the Journal* resume fields; version-1 files are
-// still readable (the new fields decode as zero).
-const checkpointVersion byte = 2
+// snapshot footer and the Journal* resume fields; version 3 adds the
+// cancel-reason classification on pending withdrawals. Older files are
+// still readable (missing fields decode as zero / unclassified).
+const checkpointVersion byte = 3
 
 // checkpointOldestReadable is the oldest envelope version
 // ReadCheckpoint still accepts.
@@ -128,10 +129,13 @@ type RetryCheckpoint struct {
 	Attempt  int
 }
 
-// SpecCancelCheckpoint marks a queued spec withdrawn at At.
+// SpecCancelCheckpoint marks a queued spec withdrawn at At. Reason is
+// the cancel classification carried onto the eventual terminal event
+// (empty in pre-v3 snapshots, which restore as unclassified cancels).
 type SpecCancelCheckpoint struct {
 	SpecIdx int
 	At      float64
+	Reason  CancelReason
 }
 
 // UserUsageCheckpoint is one fair-share accumulator.
@@ -196,7 +200,7 @@ func (ms *machineSim) checkpoint() MachineCheckpoint {
 		// pre-admission cancel were recorded immediately and are
 		// unreachable after a restore; dropping them is safe).
 		if at, ok := ms.cancelledAt[sp]; ok {
-			mc.CancelledAt = append(mc.CancelledAt, SpecCancelCheckpoint{SpecIdx: i, At: at})
+			mc.CancelledAt = append(mc.CancelledAt, SpecCancelCheckpoint{SpecIdx: i, At: at, Reason: ms.cancelReason[sp]})
 		}
 		if ms.recorded[sp] {
 			mc.Recorded = append(mc.Recorded, i)
@@ -372,11 +376,15 @@ func (ms *machineSim) restore(mc *MachineCheckpoint) error {
 	}
 
 	ms.cancelledAt = make(map[*JobSpec]float64, len(mc.CancelledAt))
+	ms.cancelReason = make(map[*JobSpec]CancelReason, len(mc.CancelledAt))
 	for _, cc := range mc.CancelledAt {
 		if cc.SpecIdx < 0 || cc.SpecIdx >= len(ms.specs) {
 			return fmt.Errorf("cloud: restore %s: cancel spec index %d out of range", ms.m.Name, cc.SpecIdx)
 		}
 		ms.cancelledAt[ms.specs[cc.SpecIdx]] = cc.At
+		if cc.Reason != "" {
+			ms.cancelReason[ms.specs[cc.SpecIdx]] = cc.Reason
+		}
 	}
 	ms.recorded = make(map[*JobSpec]bool, len(mc.Recorded))
 	for _, ri := range mc.Recorded {

@@ -46,11 +46,13 @@ type JournalConfig struct {
 	SyncEvery    int
 
 	// Test hooks (white-box): kill the session deterministically after
-	// N journal appends, cap write retries, or intercept segment file
-	// opens with a faulty writer.
+	// N journal appends, cap write retries, intercept segment file
+	// opens with a faulty writer, or write the input log in the legacy
+	// gob framing (to pin that old journals stay recoverable).
 	killAfterRecords int64
 	retryAppends     int
 	openFile         func(path string) (journal.File, error)
+	legacyGobSubmits bool
 }
 
 func (jc *JournalConfig) withDefaults() *JournalConfig {
@@ -72,10 +74,11 @@ func (jc *JournalConfig) options() journal.Options {
 
 // Journal record types: the first payload byte of every frame.
 const (
-	jrecJob    byte = 1 // machine stream: one trace.Job (binary codec)
-	jrecStats  byte = 2 // machine stream: the machine's final MachineStats (gob)
-	jrecEnd    byte = 3 // machine stream: seal marker — the run completed
-	jrecSubmit byte = 4 // input log: one accepted study submission (gob)
+	jrecJob     byte = 1 // machine stream: one trace.Job (binary codec)
+	jrecStats   byte = 2 // machine stream: the machine's final MachineStats (gob)
+	jrecEnd     byte = 3 // machine stream: seal marker — the run completed
+	jrecSubmit  byte = 4 // input log: one accepted study submission (legacy gob)
+	jrecSubmit2 byte = 5 // input log: one accepted study submission (binary codec)
 )
 
 // journalSubmit is one accepted study submission in the input log.
@@ -111,6 +114,9 @@ type sessionJournal struct {
 
 	submits  *journal.Writer
 	machines []*journal.Writer
+	// subBuf is the reused input-log encode buffer; appendSubmit runs
+	// only on the driver goroutine (Submit), so no lock is needed.
+	subBuf []byte
 
 	nextCkpt time.Time
 	seq      int64
@@ -209,12 +215,19 @@ func (jr *sessionJournal) appendSubmit(ms *machineSim, spec *JobSpec) error {
 	if err := jr.haltErr(); err != nil {
 		return err
 	}
-	var buf bytes.Buffer
-	buf.WriteByte(jrecSubmit)
-	if err := gob.NewEncoder(&buf).Encode(journalSubmit{Machine: ms.m.Name, SubmitSeq: ms.submitSeq, Spec: *spec}); err != nil {
-		return fmt.Errorf("cloud: encode submit record: %w", err)
+	if jr.jc.legacyGobSubmits {
+		// Legacy framing, kept behind a test hook so the read path's
+		// old-format support stays exercised.
+		var buf bytes.Buffer
+		buf.WriteByte(jrecSubmit)
+		if err := gob.NewEncoder(&buf).Encode(journalSubmit{Machine: ms.m.Name, SubmitSeq: ms.submitSeq, Spec: *spec}); err != nil {
+			return fmt.Errorf("cloud: encode submit record: %w", err)
+		}
+		jr.append(jr.submits, buf.Bytes())
+	} else {
+		jr.subBuf = appendSubmitRecord(jr.subBuf[:0], ms.m.Name, ms.submitSeq, spec)
+		jr.append(jr.submits, jr.subBuf)
 	}
-	jr.append(jr.submits, buf.Bytes())
 	if err := jr.haltErr(); err != nil {
 		return err
 	}
@@ -531,12 +544,23 @@ func Recover(cfg Config) (*Session, error) {
 		if rec < from {
 			return nil
 		}
-		if len(payload) == 0 || payload[0] != jrecSubmit {
-			return fmt.Errorf("cloud: input log record %d is not a submission", rec)
-		}
 		var js journalSubmit
-		if err := gob.NewDecoder(bytes.NewReader(payload[1:])).Decode(&js); err != nil {
-			return fmt.Errorf("cloud: decode input log record %d: %w", rec, err)
+		switch {
+		case len(payload) == 0:
+			return fmt.Errorf("cloud: input log record %d is not a submission", rec)
+		case payload[0] == jrecSubmit2:
+			var err error
+			if js, err = decodeSubmitRecord(payload[1:]); err != nil {
+				return fmt.Errorf("cloud: decode input log record %d: %w", rec, err)
+			}
+		case payload[0] == jrecSubmit:
+			// Legacy gob framing, kept readable so pre-existing journal
+			// directories recover unchanged.
+			if err := gob.NewDecoder(bytes.NewReader(payload[1:])).Decode(&js); err != nil {
+				return fmt.Errorf("cloud: decode input log record %d: %w", rec, err)
+			}
+		default:
+			return fmt.Errorf("cloud: input log record %d is not a submission", rec)
 		}
 		ms := s.byName[js.Machine]
 		if ms == nil {

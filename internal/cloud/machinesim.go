@@ -146,9 +146,10 @@ type machineSim struct {
 
 	finished bool
 
-	handles     map[*JobSpec]*JobHandle
-	cancelledAt map[*JobSpec]float64
-	recorded    map[*JobSpec]bool
+	handles      map[*JobSpec]*JobHandle
+	cancelledAt  map[*JobSpec]float64
+	cancelReason map[*JobSpec]CancelReason
+	recorded     map[*JobSpec]bool
 
 	// idx is the machine's fleet position (selects its journal stream);
 	// jbuf is the reused journal-frame encode buffer.
@@ -159,19 +160,20 @@ type machineSim struct {
 func newMachineSim(cfg Config, m *backend.Machine, sess *Session) *machineSim {
 	src := newCountingSource(cfg.Seed*7919 + m.Seed)
 	ms := &machineSim{
-		cfg:         cfg,
-		m:           m,
-		sess:        sess,
-		r:           rand.New(src),
-		rsrc:        src,
-		mstats:      &trace.MachineStats{Name: m.Name, Qubits: m.NumQubits(), Public: m.Public},
-		simStart:    cfg.Start,
-		usage:       make(map[string]*float64),
-		lastDecay:   make(map[string]float64),
-		handles:     make(map[*JobSpec]*JobHandle),
-		cancelledAt: make(map[*JobSpec]float64),
-		recorded:    make(map[*JobSpec]bool),
-		frontier:    math.Inf(-1),
+		cfg:          cfg,
+		m:            m,
+		sess:         sess,
+		r:            rand.New(src),
+		rsrc:         src,
+		mstats:       &trace.MachineStats{Name: m.Name, Qubits: m.NumQubits(), Public: m.Public},
+		simStart:     cfg.Start,
+		usage:        make(map[string]*float64),
+		lastDecay:    make(map[string]float64),
+		handles:      make(map[*JobSpec]*JobHandle),
+		cancelledAt:  make(map[*JobSpec]float64),
+		cancelReason: make(map[*JobSpec]CancelReason),
+		recorded:     make(map[*JobSpec]bool),
+		frontier:     math.Inf(-1),
 	}
 	online := m.Online
 	if online.Before(cfg.Start) {
@@ -279,8 +281,9 @@ func (ms *machineSim) resubmitJournaled(spec *JobSpec, submitSeq int64) error {
 
 // cancel withdraws a study job that has not finished. Jobs still
 // waiting (admitted or not) are recorded as CANCELLED at the cancel
-// instant; jobs already recorded report an error.
-func (ms *machineSim) cancel(spec *JobSpec, atSec float64) error {
+// instant; jobs already recorded report an error. The reason rides on
+// the terminal event.
+func (ms *machineSim) cancel(spec *JobSpec, atSec float64, reason CancelReason) error {
 	if ms.dead {
 		return nil // never-online machines record nothing
 	}
@@ -299,6 +302,7 @@ func (ms *machineSim) cancel(spec *JobSpec, atSec float64) error {
 			if at.Before(spec.SubmitTime) {
 				at = spec.SubmitTime
 			}
+			ms.cancelReason[spec] = reason
 			ms.recordSpecCancelled(spec, at)
 			return nil
 		}
@@ -306,6 +310,7 @@ func (ms *machineSim) cancel(spec *JobSpec, atSec float64) error {
 	// Admitted and waiting in the queue: mark it; the record lands when
 	// the server reaches it (the same path patience cancellations take).
 	ms.cancelledAt[spec] = atSec
+	ms.cancelReason[spec] = reason
 	return nil
 }
 
@@ -551,10 +556,14 @@ func (ms *machineSim) record(s *JobSpec, startT, endT time.Time, status trace.St
 		ms.jobs = append(ms.jobs, j)
 	}
 	ms.recorded[s] = true
+	if ms.cfg.RecordSink != nil {
+		ms.cfg.RecordSink(ms.idx, s, j)
+	}
 	if ms.observed() {
 		ms.emit(Event{
 			Kind: terminalKind(status), Machine: ms.m.Name, Time: endT,
 			Pending: len(ms.queue), Job: j, Handle: ms.handles[s],
+			Reason: ms.cancelReason[s],
 		})
 	}
 }
@@ -600,11 +609,12 @@ func (ms *machineSim) startNext() {
 		// Machine retires/window closes with jobs still queued: study
 		// jobs get cancelled at the boundary.
 		if q.spec != nil {
+			ms.cancelReason[q.spec] = CancelWindow
 			ms.recordStudy(q, ms.endSec, ms.endSec, trace.StatusCancelled)
 		} else if ms.observed() {
 			ms.emit(Event{
 				Kind: EventCancel, Machine: ms.m.Name, Time: ms.toTime(ms.endSec),
-				Background: true, Pending: len(ms.queue),
+				Background: true, Pending: len(ms.queue), Reason: CancelWindow,
 			})
 		}
 		return
@@ -613,11 +623,12 @@ func (ms *machineSim) startNext() {
 		// User gave up while waiting.
 		cancelAt := q.submit + q.patience
 		if q.spec != nil {
+			ms.cancelReason[q.spec] = CancelPatience
 			ms.recordStudy(q, cancelAt, cancelAt, trace.StatusCancelled)
 		} else if ms.observed() {
 			ms.emit(Event{
 				Kind: EventCancel, Machine: ms.m.Name, Time: ms.toTime(cancelAt),
-				Background: true, Pending: len(ms.queue),
+				Background: true, Pending: len(ms.queue), Reason: CancelPatience,
 			})
 		}
 		return
@@ -855,6 +866,7 @@ func (ms *machineSim) finalize() {
 		if at.Before(ms.online) {
 			at = ms.online
 		}
+		ms.cancelReason[s] = CancelWindow
 		ms.recordSpecCancelled(s, at)
 	}
 	if len(ms.waitRatios) >= 30 {

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"qcloud/internal/backend"
 	"qcloud/internal/par"
 	"qcloud/internal/trace"
 )
@@ -44,6 +45,26 @@ const (
 	EventRequeue EventKind = "requeue"
 )
 
+// CancelReason classifies why a job was withdrawn. It rides on the
+// terminal cancel event so consumers can tell a tenant-broker
+// preemption (the job will be requeued and tried again) apart from a
+// user giving up — the two move opposite directions in fairness
+// accounting.
+type CancelReason string
+
+const (
+	// CancelUser: explicit Session.Cancel by the submitting caller.
+	CancelUser CancelReason = "user"
+	// CancelPreempted: withdrawn by a scheduling layer (tenant broker)
+	// to make room for a more deserving job; the spec is re-submitted.
+	CancelPreempted CancelReason = "preempted"
+	// CancelPatience: the simulated user gave up waiting in queue.
+	CancelPatience CancelReason = "patience"
+	// CancelWindow: the simulation window or machine retirement closed
+	// over a job that never started.
+	CancelWindow CancelReason = "window"
+)
+
 // Event is one observation from the simulated cloud's lifecycle stream.
 type Event struct {
 	Kind    EventKind
@@ -68,6 +89,8 @@ type Event struct {
 	// NextAttemptAt is when a retry re-enters the queue (retry events
 	// only).
 	NextAttemptAt time.Time
+	// Reason classifies cancel events (empty for other kinds).
+	Reason CancelReason
 }
 
 // EventFilter selects which events an observer receives. Nil slices
@@ -194,6 +217,13 @@ func Open(cfg Config) (*Session, error) {
 	return s, nil
 }
 
+// Machines returns the fleet in machine-index order — the index a
+// RecordSink call reports. Callers must not mutate the slice.
+func (s *Session) Machines() []*backend.Machine { return s.cfg.Machines }
+
+// Window returns the simulated window after defaulting.
+func (s *Session) Window() (start, end time.Time) { return s.cfg.Start, s.cfg.End }
+
 // Submit enters a study job into its machine's arrival stream. It is
 // valid mid-run: the job may be submitted any time before the session
 // has advanced past its submit instant, and the resulting trace is
@@ -272,20 +302,32 @@ func (s *Session) JobStatus(h *JobHandle) (JobState, error) {
 
 // Cancel withdraws a submitted job that has not finished; it is
 // recorded as CANCELLED at the machine's current frontier (or its
-// submit instant, if that is later).
+// submit instant, if that is later). The terminal event carries
+// CancelUser.
 func (s *Session) Cancel(h *JobHandle) error {
+	return s.CancelWithReason(h, CancelUser)
+}
+
+// CancelWithReason is Cancel with an explicit classification on the
+// terminal event — CancelPreempted is how the tenant broker marks a
+// withdrawal it will follow with a requeue, keeping preemptions
+// distinguishable from users giving up in event tallies and metrics.
+func (s *Session) CancelWithReason(h *JobHandle, reason CancelReason) error {
 	if s.closed {
 		return ErrSessionClosed
 	}
 	if h == nil || h.sess != s {
 		return fmt.Errorf("cloud: handle does not belong to this session")
 	}
+	if reason == "" {
+		reason = CancelUser
+	}
 	ms := s.byName[h.machine]
 	at := ms.frontier
 	if sub := ms.toSec(h.spec.SubmitTime); at < sub || math.IsInf(at, -1) {
 		at = sub
 	}
-	return ms.cancel(h.spec, at)
+	return ms.cancel(h.spec, at, reason)
 }
 
 // AdvanceTo moves every machine's frontier to t, processing all

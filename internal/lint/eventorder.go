@@ -25,7 +25,7 @@ import (
 var EventOrder = &Analyzer{
 	Name:  "eventorder",
 	Doc:   "flag Event-channel sends and trace.Trace appends from goroutines outside the machineSim advance loop",
-	Scope: []string{"qcloud/internal/cloud", "qcloud/internal/journal"},
+	Scope: []string{"qcloud/internal/cloud", "qcloud/internal/journal", "qcloud/internal/tenant"},
 	Run:   runEventOrder,
 }
 

@@ -139,6 +139,7 @@ var DeterministicPackages = []string{
 	"qcloud/internal/sched",
 	"qcloud/internal/workload",
 	"qcloud/internal/journal",
+	"qcloud/internal/tenant",
 }
 
 // Vet runs every applicable analyzer over the packages and returns all

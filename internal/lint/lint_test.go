@@ -148,6 +148,16 @@ func TestEventOrderFixtures(t *testing.T) {
 	checkFixture(t, "eventorder_fixed", "qcloud/internal/cloud/lintfixture")
 }
 
+// The tenant twin pins the broker's record-sink contract: machine
+// goroutines may only append into eventowner-marked per-machine
+// buffers; the merge into the shared trace belongs to the driver
+// goroutine. Claiming qcloud/internal/tenant/... also proves the
+// scope extension took.
+func TestEventOrderTenantFixtures(t *testing.T) {
+	checkFixture(t, "eventorder_tenant_broken", "qcloud/internal/tenant/lintfixture")
+	checkFixture(t, "eventorder_tenant_fixed", "qcloud/internal/tenant/lintfixture")
+}
+
 // TestScopeFiltering proves a broken fixture goes quiet when its
 // claimed path is outside the analyzer's scope — the wallclock fixture
 // under an unscoped path must yield only diagnostics from unscoped

@@ -1,0 +1,349 @@
+package tenant_test
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"qcloud/internal/backend"
+	"qcloud/internal/cloud"
+	"qcloud/internal/tenant"
+	"qcloud/internal/trace"
+	"qcloud/internal/workload"
+)
+
+var btWindow = struct{ start, end time.Time }{
+	start: time.Date(2021, 2, 1, 0, 0, 0, 0, time.UTC),
+	end:   time.Date(2021, 2, 15, 0, 0, 0, 0, time.UTC),
+}
+
+func btMachines(t *testing.T) []*backend.Machine {
+	t.Helper()
+	var sel []*backend.Machine
+	for _, m := range backend.Fleet() {
+		switch m.Name {
+		case "ibmq_athens", "ibmq_rome":
+			sel = append(sel, m)
+		}
+	}
+	if len(sel) != 2 {
+		t.Fatalf("fleet is missing the test machines, got %d", len(sel))
+	}
+	return sel
+}
+
+// btConfig is a quiet, fault-free session config: conservation and
+// convergence assertions need tenant jobs to be the only demand.
+func btConfig(t *testing.T, seed int64, workers int) cloud.Config {
+	bg := cloud.DefaultBackground()
+	bg.PublicUtil, bg.PrivateUtil, bg.RampFloor = 0, 0, 0
+	return cloud.Config{
+		Seed: seed, Start: btWindow.start, End: btWindow.end,
+		Machines: btMachines(t), Workers: workers, Background: bg,
+	}
+}
+
+func btRun(t *testing.T, ccfg cloud.Config, tcfg tenant.Config, subs []tenant.Submission) (*tenant.Broker, *trace.Trace) {
+	t.Helper()
+	b, err := tenant.Open(ccfg, tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Play(subs); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return b, tr
+}
+
+func btScenario(t *testing.T, name string, cfg workload.TenantConfig) (tenant.Config, []tenant.Submission) {
+	t.Helper()
+	sc, err := workload.FindTenantScenario(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc.Build(cfg)
+}
+
+// tenantBusySeconds sums QPU busy time over the trace's tenant jobs —
+// the ground truth the ledger must conserve.
+func tenantBusySeconds(tr *trace.Trace) float64 {
+	busy := 0.0
+	for _, j := range tr.Jobs {
+		if strings.HasPrefix(j.User, "tenant:") {
+			busy += j.EndTime.Sub(j.StartTime).Seconds()
+		}
+	}
+	return busy
+}
+
+// TestBrokerConservesQPUSeconds: the allocation ledger's raw total is
+// exactly the QPU time the trace says tenant jobs consumed, per-queue
+// decayed allocation never exceeds raw, and every arrival is accounted
+// for in exactly one terminal counter.
+func TestBrokerConservesQPUSeconds(t *testing.T) {
+	tcfg, subs := btScenario(t, "uniform", workload.TenantConfig{
+		Seed: 11, Start: btWindow.start, End: btWindow.end,
+		Machines: btMachines(t), Tenants: 4, TotalJobs: 300,
+	})
+	b, tr := btRun(t, btConfig(t, 7, 2), tcfg, subs)
+
+	busy := tenantBusySeconds(tr)
+	if raw := b.Ledger().RawTotal(); math.Abs(raw-busy) > 1e-6*math.Max(busy, 1) {
+		t.Fatalf("ledger raw total %.6f != trace tenant busy seconds %.6f", raw, busy)
+	}
+	if busy == 0 {
+		t.Fatal("scenario produced no tenant QPU time")
+	}
+	for _, st := range b.States() {
+		if st.Decayed > st.Raw+1e-9 {
+			t.Fatalf("queue %s: decayed %.3f exceeds raw %.3f", st.Name, st.Decayed, st.Raw)
+		}
+		if st.Pending != 0 || st.InFlight != 0 {
+			t.Fatalf("queue %s: %d pending / %d in flight after Run", st.Name, st.Pending, st.InFlight)
+		}
+		if got := st.Done + st.Errored + st.Cancelled + st.Unserved; got != st.Arrived {
+			t.Fatalf("queue %s: terminal counters %d != arrivals %d", st.Name, got, st.Arrived)
+		}
+	}
+}
+
+// TestBrokerBitIdenticalAcrossWorkers: a full multi-tenant run — trace,
+// ledger and queue state — is a pure function of the seed, independent
+// of the session worker budget.
+func TestBrokerBitIdenticalAcrossWorkers(t *testing.T) {
+	run := func(workers int) (traceJSON, ledger, states []byte) {
+		tcfg, subs := btScenario(t, "skewed", workload.TenantConfig{
+			Seed: 5, Start: btWindow.start, End: btWindow.end,
+			Machines: btMachines(t), Tenants: 6, TotalJobs: 250,
+		})
+		tcfg.Preemption = true
+		b, tr := btRun(t, btConfig(t, 9, workers), tcfg, subs)
+		var tj, lg, st bytes.Buffer
+		if err := trace.WriteJSON(&tj, tr); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Ledger().Dump(&lg, b.Now()); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.DumpStates(&st); err != nil {
+			t.Fatal(err)
+		}
+		return tj.Bytes(), lg.Bytes(), st.Bytes()
+	}
+	tj1, lg1, st1 := run(1)
+	tj4, lg4, st4 := run(4)
+	if !bytes.Equal(tj1, tj4) {
+		t.Fatal("trace differs between serial and 4-worker runs")
+	}
+	if !bytes.Equal(lg1, lg4) {
+		t.Fatalf("ledger dump differs between serial and 4-worker runs:\n%s\nvs\n%s", lg1, lg4)
+	}
+	if !bytes.Equal(st1, st4) {
+		t.Fatalf("state dump differs between serial and 4-worker runs:\n%s\nvs\n%s", st1, st4)
+	}
+}
+
+// inversionScenario floods one machine with low-priority bulk work,
+// then a high-priority queue arrives: the preemption A/B fixture.
+func inversionScenario(t *testing.T) (tenant.Config, []tenant.Submission) {
+	t.Helper()
+	tcfg, subs := btScenario(t, "priority-inversion", workload.TenantConfig{
+		Seed: 3, Start: btWindow.start, End: btWindow.start.Add(48 * time.Hour),
+		Machines: btMachines(t), Tenants: 5, TotalJobs: 600,
+	})
+	return tcfg, subs
+}
+
+// TestPreemptionBoundsPriorityWait is the A/B acceptance check: with
+// preemption on, the high-priority queue's mean release-to-start wait
+// drops well below the no-preemption run, at nonzero preemption count,
+// with the bulk queues' totals still conserved.
+func TestPreemptionBoundsPriorityWait(t *testing.T) {
+	waitOf := func(preempt bool) (float64, *tenant.Broker) {
+		tcfg, subs := inversionScenario(t)
+		tcfg.Preemption = preempt
+		b, tr := btRun(t, btConfig(t, 13, 2), tcfg, subs)
+		busy := tenantBusySeconds(tr)
+		if raw := b.Ledger().RawTotal(); math.Abs(raw-busy) > 1e-6*math.Max(busy, 1) {
+			t.Fatalf("preempt=%v: ledger %.3f != busy %.3f", preempt, raw, busy)
+		}
+		st, ok := b.State("interactive")
+		if !ok || st.Done == 0 {
+			t.Fatalf("preempt=%v: interactive queue ran nothing (%+v)", preempt, st)
+		}
+		return st.WaitMean, b
+	}
+	off, bOff := waitOf(false)
+	on, bOn := waitOf(true)
+	if bOff.Preemptions() != 0 {
+		t.Fatalf("preemption disabled but %d preemptions fired", bOff.Preemptions())
+	}
+	if bOn.Preemptions() == 0 {
+		t.Fatal("preemption enabled but never fired")
+	}
+	if on >= 0.7*off {
+		t.Fatalf("preemption did not bound priority wait: %.1fs with vs %.1fs without", on, off)
+	}
+}
+
+// TestPreemptReasonDistinct: broker preemptions surface as cancel
+// events with CancelPreempted — distinguishable from user cancels —
+// the event conservation laws hold, and the broker's preemption count
+// matches both the event stream and the per-queue counters.
+func TestPreemptReasonDistinct(t *testing.T) {
+	tcfg, subs := inversionScenario(t)
+	tcfg.Preemption = true
+	b, err := tenant.Open(btConfig(t, 13, 2), tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := b.Session().Observe(cloud.EventFilter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One explicit user cancel for contrast: a direct session
+	// submission withdrawn straight away, before the broker starts.
+	spec := *subs[0].Spec
+	spec.SubmitTime = btWindow.start.Add(time.Minute)
+	spec.User = "solo"
+	h, err := b.Session().Submit(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Session().Cancel(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Play(subs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Run(); err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[cloud.EventKind]int)
+	reasons := make(map[cloud.CancelReason]int)
+	enqueued := make(map[*cloud.JobHandle]bool)
+	preEnqueueCancels := 0
+	for ev := range events {
+		counts[ev.Kind]++
+		switch ev.Kind {
+		case cloud.EventEnqueue:
+			enqueued[ev.Handle] = true
+		case cloud.EventCancel:
+			reasons[ev.Reason]++
+			if ev.Handle == nil || !enqueued[ev.Handle] {
+				preEnqueueCancels++
+			}
+		}
+	}
+	if got := reasons[cloud.CancelPreempted]; got != b.Preemptions() {
+		t.Fatalf("%d cancel events carry CancelPreempted, broker reports %d preemptions", got, b.Preemptions())
+	}
+	if b.Preemptions() == 0 {
+		t.Fatal("fixture fired no preemptions")
+	}
+	if reasons[cloud.CancelUser] == 0 {
+		t.Fatal("explicit user cancel did not surface as CancelUser")
+	}
+	preempted := 0
+	for _, st := range b.States() {
+		preempted += st.Preempted
+	}
+	if preempted != b.Preemptions() {
+		t.Fatalf("per-queue preempted counters sum to %d, broker reports %d", preempted, b.Preemptions())
+	}
+	// The only cancel allowed to skip the queue entirely is the one
+	// explicit pre-admission user cancel; every broker preemption must
+	// hit a job that was actually enqueued.
+	if preEnqueueCancels != 1 {
+		t.Fatalf("%d cancels of never-enqueued jobs, want exactly the 1 user cancel", preEnqueueCancels)
+	}
+	if got, want := counts[cloud.EventEnqueue], counts[cloud.EventStart]+counts[cloud.EventCancel]-preEnqueueCancels; got != want {
+		t.Fatalf("enqueue ≡ start+cancel broken under preemption: %d vs %d", got, want)
+	}
+	if got, want := counts[cloud.EventStart], counts[cloud.EventDone]+counts[cloud.EventError]+counts[cloud.EventRetry]; got != want {
+		t.Fatalf("start ≡ done+error+retry broken under preemption: %d vs %d", got, want)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWeightedFairShareConvergence200 is the acceptance scenario: 200
+// tenants with 1/2/3-weighted shares, identical job shapes, all
+// backlogged from the first hour. Every queue's realized share of raw
+// allocation must land within 5% (relative) of its deserved share.
+func TestWeightedFairShareConvergence200(t *testing.T) {
+	machines := btMachines(t)
+	const tenants = 200
+	var queues []tenant.QueueConfig
+	for i := 0; i < tenants; i++ {
+		queues = append(queues, tenant.QueueConfig{
+			Name:  fmt.Sprintf("t%03d", i),
+			Share: float64(1 + i%3),
+		})
+	}
+	// Identical job shape everywhere: share error can only come from
+	// the broker's ordering, not workload noise. Demand (80 jobs per
+	// weight unit) overshoots the 4-day window's capacity, so every
+	// queue stays backlogged and shares are decided purely by the
+	// broker.
+	end := btWindow.start.Add(4 * 24 * time.Hour)
+	var subs []tenant.Submission
+	for i := 0; i < tenants; i++ {
+		n := 80 * (1 + i%3)
+		for j := 0; j < n; j++ {
+			at := btWindow.start.Add(time.Duration(i*97+j*131) * time.Millisecond)
+			subs = append(subs, tenant.Submission{
+				Queue: fmt.Sprintf("t%03d", i),
+				Spec: &cloud.JobSpec{
+					SubmitTime: at, Machine: machines[(i+j)%2].Name,
+					BatchSize: 12, Shots: 1024, CircuitName: "qft4",
+					Width: 4, TotalDepth: 240, TotalGateOps: 800, CXTotal: 120, MemSlots: 4,
+				},
+			})
+		}
+	}
+	ccfg := btConfig(t, 17, 4)
+	ccfg.End = end
+	tcfg := tenant.Config{
+		Queues:        queues,
+		HalfLife:      1000 * time.Hour, // effectively undecayed: raw shares are the target
+		Tick:          time.Minute,
+		MaxPerMachine: 2,
+	}
+	b, tr := btRun(t, ccfg, tcfg, subs)
+
+	busy := tenantBusySeconds(tr)
+	if raw := b.Ledger().RawTotal(); math.Abs(raw-busy) > 1e-6*busy {
+		t.Fatalf("ledger raw total %.3f != trace busy %.3f", raw, busy)
+	}
+	m := b.Metrics()
+	if m.JainIndex < 0.999 {
+		t.Fatalf("Jain index %.5f, want ≥ 0.999", m.JainIndex)
+	}
+	worst, worstName := 0.0, ""
+	for _, st := range b.States() {
+		if st.Unserved == 0 && st.Pending == 0 {
+			t.Fatalf("queue %s drained its backlog — demand must outlast the window for this assertion", st.Name)
+		}
+		rel := math.Abs(st.Share-st.Deserved) / st.Deserved
+		if rel > worst {
+			worst, worstName = rel, st.Name
+		}
+	}
+	if worst > 0.05 {
+		t.Fatalf("queue %s deviates %.2f%% from its deserved share (limit 5%%)", worstName, 100*worst)
+	}
+	t.Logf("200-tenant convergence: worst relative deviation %.2f%% (%s), Jain %.6f, %d preemptions",
+		100*worst, worstName, m.JainIndex, m.Preemptions)
+}

@@ -1,0 +1,94 @@
+package tenant
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// Ledger is the time-aware allocation history: QPU-seconds charged per
+// queue, decayed exponentially over a configurable half-life so recent
+// consumption outweighs ancient history. It also keeps the undecayed
+// lifetime totals, which is what the conservation law is asserted on
+// (sum of per-queue raw allocation ≡ total machine busy time spent on
+// tenant jobs).
+//
+// Charges arrive in the broker's deterministic merge order. That order
+// is time-sorted within one drain batch but only approximately
+// monotone across machines, so decay application guards against a
+// charge timestamped before the entry's last update (it is applied
+// without further decay). Every guard decision is itself deterministic,
+// so ledger state is bit-identical at any worker count.
+type Ledger struct {
+	halfLifeSec float64
+	names       []string
+	alloc       []float64 // decayed QPU-seconds, valid at last[i]
+	last        []float64 // sim-second of each entry's latest decay
+	raw         []float64 // undecayed lifetime QPU-seconds
+}
+
+// NewLedger creates a ledger for the named queues starting at sim
+// second startSec.
+func NewLedger(names []string, halfLife time.Duration, startSec float64) *Ledger {
+	l := &Ledger{
+		halfLifeSec: halfLife.Seconds(),
+		names:       append([]string(nil), names...),
+		alloc:       make([]float64, len(names)),
+		last:        make([]float64, len(names)),
+		raw:         make([]float64, len(names)),
+	}
+	for i := range l.last {
+		l.last[i] = startSec
+	}
+	return l
+}
+
+// decayTo advances entry i's decay clock to atSec (no-op for past
+// timestamps — see the type comment).
+func (l *Ledger) decayTo(i int, atSec float64) {
+	if dt := atSec - l.last[i]; dt > 0 {
+		l.alloc[i] *= math.Exp2(-dt / l.halfLifeSec)
+		l.last[i] = atSec
+	}
+}
+
+// Charge adds qpuSec of allocation to queue i at sim-second atSec.
+func (l *Ledger) Charge(i int, atSec, qpuSec float64) {
+	l.decayTo(i, atSec)
+	l.alloc[i] += qpuSec
+	l.raw[i] += qpuSec
+}
+
+// DecayedAt returns queue i's decayed allocation as of atSec without
+// mutating the entry.
+func (l *Ledger) DecayedAt(i int, atSec float64) float64 {
+	if dt := atSec - l.last[i]; dt > 0 {
+		return l.alloc[i] * math.Exp2(-dt/l.halfLifeSec)
+	}
+	return l.alloc[i]
+}
+
+// Raw returns queue i's undecayed lifetime allocation.
+func (l *Ledger) Raw(i int) float64 { return l.raw[i] }
+
+// RawTotal returns the undecayed allocation summed over all queues.
+func (l *Ledger) RawTotal() float64 {
+	t := 0.0
+	for _, v := range l.raw {
+		t += v
+	}
+	return t
+}
+
+// Dump writes the ledger as stable text, one queue per line
+// (name, decayed-at-atSec, raw), for golden assertions and fairness
+// debugging.
+func (l *Ledger) Dump(w io.Writer, atSec float64) error {
+	for i, name := range l.names {
+		if _, err := fmt.Fprintf(w, "%s decayed=%.6f raw=%.6f\n", name, l.DecayedAt(i, atSec), l.raw[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package tenant
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+)
+
+// TestLedgerHalfLife pins the decay semantics: a charge loses exactly
+// half its weight per half-life while the raw total never decays.
+func TestLedgerHalfLife(t *testing.T) {
+	l := NewLedger([]string{"a", "b"}, time.Hour, 0)
+	l.Charge(0, 0, 100)
+	for hls, want := range map[float64]float64{0: 100, 1: 50, 2: 25, 10: 100.0 / 1024} {
+		if got := l.DecayedAt(0, hls*3600); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("DecayedAt after %v half-lives = %g, want %g", hls, got, want)
+		}
+	}
+	if l.Raw(0) != 100 || l.Raw(1) != 0 || l.RawTotal() != 100 {
+		t.Fatalf("raw totals wrong: %g %g %g", l.Raw(0), l.Raw(1), l.RawTotal())
+	}
+	// DecayedAt must not mutate: repeated reads agree.
+	if a, b := l.DecayedAt(0, 7200), l.DecayedAt(0, 7200); a != b {
+		t.Fatalf("DecayedAt mutated state: %g then %g", a, b)
+	}
+}
+
+// TestLedgerOutOfOrderCharge: a charge timestamped before the entry's
+// last update applies without decay (the deterministic guard for
+// cross-machine record merge order) and never rewinds the clock.
+func TestLedgerOutOfOrderCharge(t *testing.T) {
+	l := NewLedger([]string{"a"}, time.Hour, 0)
+	l.Charge(0, 7200, 10) // two half-lives in
+	l.Charge(0, 3600, 10) // late-arriving earlier charge
+	if got := l.DecayedAt(0, 7200); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("decayed after out-of-order charge = %g, want 20", got)
+	}
+	// The clock stayed at 7200: a read at 3600 sees no *extra* decay.
+	if got := l.DecayedAt(0, 3600); got != 20 {
+		t.Fatalf("decayed at earlier instant = %g, want 20 (clock must not rewind)", got)
+	}
+	if got := l.Raw(0); got != 20 {
+		t.Fatalf("raw = %g, want 20", got)
+	}
+}
+
+// TestLedgerAccumulation: charges at the same instant add linearly and
+// later charges decay earlier ones.
+func TestLedgerAccumulation(t *testing.T) {
+	l := NewLedger([]string{"a"}, time.Hour, 0)
+	l.Charge(0, 0, 40)
+	l.Charge(0, 0, 60)
+	if got := l.DecayedAt(0, 0); got != 100 {
+		t.Fatalf("same-instant charges = %g, want 100", got)
+	}
+	l.Charge(0, 3600, 10)
+	if got := l.DecayedAt(0, 3600); math.Abs(got-60) > 1e-9 {
+		t.Fatalf("after one half-life + 10 = %g, want 60", got)
+	}
+}
+
+// TestLedgerDumpStable pins the dump format tests and the CLI assert
+// bit-identity on.
+func TestLedgerDumpStable(t *testing.T) {
+	l := NewLedger([]string{"a", "b"}, time.Hour, 0)
+	l.Charge(0, 0, 100)
+	var buf bytes.Buffer
+	if err := l.Dump(&buf, 3600); err != nil {
+		t.Fatal(err)
+	}
+	want := "a decayed=50.000000 raw=100.000000\nb decayed=0.000000 raw=0.000000\n"
+	if buf.String() != want {
+		t.Fatalf("dump:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}

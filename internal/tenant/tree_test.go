@@ -1,0 +1,101 @@
+package tenant
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func deservedOf(t *testing.T, qs []*queueState, name string) float64 {
+	t.Helper()
+	for _, q := range qs {
+		if q.cfg.Name == name {
+			return q.deserved
+		}
+	}
+	t.Fatalf("queue %q not found", name)
+	return 0
+}
+
+// TestResolveTreeFlat: root shares normalize over root weights.
+func TestResolveTreeFlat(t *testing.T) {
+	qs, byName, err := resolveTree([]QueueConfig{
+		{Name: "big", Share: 3},
+		{Name: "small", Share: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := deservedOf(t, qs, "big"); got != 0.75 {
+		t.Fatalf("big deserved = %g, want 0.75", got)
+	}
+	if got := deservedOf(t, qs, "small"); got != 0.25 {
+		t.Fatalf("small deserved = %g, want 0.25", got)
+	}
+	if !byName["big"].leaf || !byName["small"].leaf {
+		t.Fatal("flat queues must be leaves")
+	}
+}
+
+// TestResolveTreeHierarchy: a parent's deserved fraction divides among
+// its children by their weights, and parents stop being leaves.
+func TestResolveTreeHierarchy(t *testing.T) {
+	qs, byName, err := resolveTree([]QueueConfig{
+		{Name: "org", Share: 1},
+		{Name: "solo", Share: 1},
+		{Name: "a", Parent: "org", Share: 3},
+		{Name: "b", Parent: "org", Share: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]float64{"org": 0.5, "solo": 0.5, "a": 0.375, "b": 0.125} {
+		if got := deservedOf(t, qs, name); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("%s deserved = %g, want %g", name, got, want)
+		}
+	}
+	if byName["org"].leaf {
+		t.Fatal("org has children and must not be a leaf")
+	}
+	if !byName["a"].leaf || !byName["b"].leaf || !byName["solo"].leaf {
+		t.Fatal("a, b, solo must be leaves")
+	}
+}
+
+// TestResolveTreeDefaultShare: zero shares default to weight 1.
+func TestResolveTreeDefaultShare(t *testing.T) {
+	qs, _, err := resolveTree([]QueueConfig{{Name: "x"}, {Name: "y"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := deservedOf(t, qs, "x"); got != 0.5 {
+		t.Fatalf("defaulted share deserved = %g, want 0.5", got)
+	}
+}
+
+// TestResolveTreeErrors: every malformed tree is rejected with a
+// mention of the offending queue.
+func TestResolveTreeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		cfgs []QueueConfig
+		frag string
+	}{
+		{"empty", nil, "no queues"},
+		{"unnamed", []QueueConfig{{Name: ""}}, "empty name"},
+		{"negative", []QueueConfig{{Name: "a", Share: -1}}, "negative"},
+		{"dup", []QueueConfig{{Name: "a"}, {Name: "a"}}, "duplicate"},
+		{"orphan", []QueueConfig{{Name: "a", Parent: "ghost"}}, "unknown parent"},
+		{"cycle", []QueueConfig{{Name: "a", Parent: "b"}, {Name: "b", Parent: "a"}}, "cycle"},
+		{"selfcycle", []QueueConfig{{Name: "a", Parent: "a"}}, "cycle"},
+	}
+	for _, tc := range cases {
+		_, _, err := resolveTree(tc.cfgs)
+		if err == nil {
+			t.Fatalf("%s: resolveTree accepted a malformed tree", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.frag) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.frag)
+		}
+	}
+}
