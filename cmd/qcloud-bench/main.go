@@ -741,7 +741,16 @@ func main() {
 		log.Fatal(err)
 	}
 	rep.Label = *label
-	rep.Notes = *notes
+	// Stamp the host's parallelism into the notes so a committed report
+	// can never be mistaken for a different machine class: parallel
+	// speedup rows from a 1-vCPU container measure goroutine overhead,
+	// not speedup.
+	hw := fmt.Sprintf("hw: NumCPU=%d GOMAXPROCS=%d", runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	if *notes != "" {
+		rep.Notes = *notes + " | " + hw
+	} else {
+		rep.Notes = hw
+	}
 	if *baseline != "" {
 		data, err := os.ReadFile(*baseline)
 		if err != nil {

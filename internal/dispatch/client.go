@@ -1,0 +1,133 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"qcloud/internal/dispatch/wire"
+)
+
+// Client is the psq-style thin client for the dispatcher's HTTP API.
+type Client struct {
+	// Server is the dispatcher's base URL.
+	Server string
+	// HTTP is the transport (default http.DefaultClient).
+	HTTP *http.Client
+	// Timeout bounds each call (default 10s).
+	Timeout time.Duration
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 10 * time.Second
+}
+
+// do runs one JSON round trip; non-200 responses surface the server's
+// error string.
+func (c *Client) do(method, path string, req, resp any) error {
+	var body io.Reader
+	if req != nil {
+		raw, err := json.Marshal(req)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(raw)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), c.timeout())
+	defer cancel()
+	hr, err := http.NewRequestWithContext(ctx, method, c.Server+path, body)
+	if err != nil {
+		return err
+	}
+	if req != nil {
+		hr.Header.Set("Content-Type", "application/json")
+	}
+	res, err := c.http().Do(hr)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(res.Body, 256<<20))
+	if err != nil {
+		return err
+	}
+	if res.StatusCode != http.StatusOK {
+		var ge wire.GenericResponse
+		if json.Unmarshal(data, &ge) == nil && ge.Err != "" {
+			return fmt.Errorf("dispatch: %s: %s", path, ge.Err)
+		}
+		return fmt.Errorf("dispatch: %s: HTTP %d", path, res.StatusCode)
+	}
+	if raw, ok := resp.(*[]byte); ok {
+		*raw = data
+		return nil
+	}
+	return json.Unmarshal(data, resp)
+}
+
+// Submit submits one spec under an idempotency key.
+func (c *Client) Submit(key string, spec wire.Spec) (wire.SubmitResponse, error) {
+	var resp wire.SubmitResponse
+	err := c.do(http.MethodPost, "/v1/submit", wire.SubmitRequest{V: wire.Version, Key: key, Spec: spec}, &resp)
+	return resp, err
+}
+
+// Seal closes the submission stream.
+func (c *Client) Seal() error {
+	var resp wire.GenericResponse
+	return c.do(http.MethodPost, "/v1/seal", wire.SealRequest{V: wire.Version}, &resp)
+}
+
+// Cancel cancels by key or seq.
+func (c *Client) Cancel(key string, seq int64) (wire.ResultResponse, error) {
+	var resp wire.ResultResponse
+	err := c.do(http.MethodPost, "/v1/cancel", wire.CancelRequest{V: wire.Version, Key: key, Seq: seq}, &resp)
+	return resp, err
+}
+
+// Status fetches the live status summary.
+func (c *Client) Status() (wire.StatusResponse, error) {
+	var resp wire.StatusResponse
+	err := c.do(http.MethodGet, "/v1/status", nil, &resp)
+	return resp, err
+}
+
+// Events pages the observable event stream from the cursor.
+func (c *Client) Events(since int64) (wire.EventsResponse, error) {
+	var resp wire.EventsResponse
+	err := c.do(http.MethodGet, fmt.Sprintf("/v1/events?since=%d", since), nil, &resp)
+	return resp, err
+}
+
+// TraceCSV fetches the trace-plane result (requires a sealed stream).
+func (c *Client) TraceCSV() ([]byte, error) {
+	var raw []byte
+	err := c.do(http.MethodGet, "/v1/result/trace", nil, &raw)
+	return raw, err
+}
+
+// CountsCSV fetches the counts-plane result (requires a sealed,
+// fully-terminal stream unless partial).
+func (c *Client) CountsCSV(partial bool) ([]byte, error) {
+	path := "/v1/result/counts"
+	if partial {
+		path += "?partial=1"
+	}
+	var raw []byte
+	err := c.do(http.MethodGet, path, nil, &raw)
+	return raw, err
+}

@@ -1,0 +1,371 @@
+package dispatch_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"qcloud/internal/backend"
+	"qcloud/internal/cloud"
+	"qcloud/internal/dispatch"
+	"qcloud/internal/dispatch/wire"
+	"qcloud/internal/qsim"
+	"qcloud/internal/trace"
+	"qcloud/internal/workload"
+)
+
+const (
+	e2eSeed = 7
+	e2eJobs = 40
+	e2eDays = 60
+)
+
+// e2eWorkload builds the shared test workload: the study specs and
+// their exec plans.
+func e2eWorkload(t *testing.T) (specs []*cloud.JobSpec, plans []wire.Spec, start, end time.Time) {
+	t.Helper()
+	start = backend.StudyStart
+	end = start.Add(e2eDays * 24 * time.Hour)
+	specs = workload.Generate(workload.Config{Seed: e2eSeed, TotalJobs: e2eJobs, Start: start, End: end})
+	if len(specs) < 10 {
+		t.Fatalf("workload too small: %d jobs", len(specs))
+	}
+	plans = make([]wire.Spec, len(specs))
+	for i, js := range specs {
+		plans[i] = wire.Plan(js, wire.ExecCaps{}, e2eSeed, i)
+	}
+	return specs, plans, start, end
+}
+
+// goldenTrace is the single-process Session.Run reference for the
+// trace plane.
+func goldenTrace(t *testing.T, specs []*cloud.JobSpec, start, end time.Time) []byte {
+	t.Helper()
+	tr, err := cloud.Simulate(cloud.Config{Seed: e2eSeed, Start: start, End: end}, specs)
+	if err != nil {
+		t.Fatalf("golden Simulate: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteCSV(&buf, tr.Jobs); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// goldenCounts is the in-process reference for the counts plane.
+func goldenCounts(t *testing.T, plans []wire.Spec) []byte {
+	t.Helper()
+	rs, err := wire.RunLocal(plans, qsim.Parallelism{})
+	if err != nil {
+		t.Fatalf("golden RunLocal: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := rs.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// startDispatcher builds a dispatcher + HTTP server over dir.
+func startDispatcher(t *testing.T, dir string, start, end time.Time) (*dispatch.Dispatcher, *httptest.Server, *dispatch.Client) {
+	t.Helper()
+	d, err := dispatch.New(dispatch.Config{
+		Dir: dir, Seed: e2eSeed, Start: start, End: end,
+		Lease: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("dispatch.New: %v", err)
+	}
+	srv := httptest.NewServer(d.Handler())
+	return d, srv, &dispatch.Client{Server: srv.URL}
+}
+
+// startWorkers launches n in-process workers against the server.
+func startWorkers(t *testing.T, n int, server string) (stop func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		w, err := dispatch.NewWorker(dispatch.WorkerConfig{
+			Server: server,
+			Name:   fmt.Sprintf("w%d", i),
+			Poll:   5 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("NewWorker: %v", err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = w.Run(ctx)
+		}()
+	}
+	return func() {
+		cancel()
+		wg.Wait()
+	}
+}
+
+// waitDrained polls status until every submission is terminal.
+func waitDrained(t *testing.T, cl *dispatch.Client, jobs int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		st, err := cl.Status()
+		if err == nil && st.Sealed && st.Terminal() >= jobs {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	st, _ := cl.Status()
+	t.Fatalf("workload did not drain: %+v", st)
+}
+
+// TestEndToEndDeterminism is the tentpole acceptance pin: dispatcher +
+// N workers, N ∈ {1, 4}, produces merged trace and counts CSVs
+// byte-identical to the single-process references, regardless of
+// worker count.
+func TestEndToEndDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e is slow")
+	}
+	specs, plans, start, end := e2eWorkload(t)
+	wantTrace := goldenTrace(t, specs, start, end)
+	wantCounts := goldenCounts(t, plans)
+
+	for _, n := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", n), func(t *testing.T) {
+			d, srv, cl := startDispatcher(t, t.TempDir(), start, end)
+			defer func() {
+				srv.Close()
+				_ = d.Close()
+			}()
+			stop := startWorkers(t, n, srv.URL)
+			defer stop()
+
+			for i, p := range plans {
+				resp, err := cl.Submit(fmt.Sprintf("load/%d", i), p)
+				if err != nil {
+					t.Fatalf("submit %d: %v", i, err)
+				}
+				if resp.Seq != int64(i) {
+					t.Fatalf("seq = %d, want %d", resp.Seq, i)
+				}
+			}
+			if err := cl.Seal(); err != nil {
+				t.Fatal(err)
+			}
+			waitDrained(t, cl, len(plans))
+
+			gotCounts, err := cl.CountsCSV(false)
+			if err != nil {
+				t.Fatalf("counts: %v", err)
+			}
+			if !bytes.Equal(gotCounts, wantCounts) {
+				t.Errorf("counts CSV differs from in-process reference (%d vs %d bytes)", len(gotCounts), len(wantCounts))
+			}
+			gotTrace, err := cl.TraceCSV()
+			if err != nil {
+				t.Fatalf("trace: %v", err)
+			}
+			if !bytes.Equal(gotTrace, wantTrace) {
+				t.Errorf("trace CSV differs from single-process Session.Run (%d vs %d bytes)", len(gotTrace), len(wantTrace))
+			}
+
+			// The observable stream saw exactly one terminal event per
+			// submission (dup-free merge).
+			ev, err := cl.Events(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			terminal := 0
+			for _, e := range ev.Events {
+				switch e.Kind {
+				case cloud.EventDone, cloud.EventError, cloud.EventCancel:
+					terminal++
+				}
+			}
+			if terminal != len(plans) {
+				t.Errorf("terminal events = %d, want %d", terminal, len(plans))
+			}
+		})
+	}
+}
+
+// TestDispatcherRestartMidRun pins the durability contract in-process:
+// a dispatcher torn down mid-run (submissions partially landed, units
+// leased, some results merged) and reopened on the same state
+// directory finishes with byte-identical merged output, with the load
+// client blindly resubmitting through its idempotency keys.
+func TestDispatcherRestartMidRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e is slow")
+	}
+	specs, plans, start, end := e2eWorkload(t)
+	wantTrace := goldenTrace(t, specs, start, end)
+	wantCounts := goldenCounts(t, plans)
+
+	dir := t.TempDir()
+	d1, srv1, cl1 := startDispatcher(t, dir, start, end)
+
+	// First half submitted; a few units leased and two results merged;
+	// one lease left dangling to be forgotten by the restart.
+	half := len(plans) / 2
+	for i := 0; i < half; i++ {
+		if _, err := cl1.Submit(fmt.Sprintf("load/%d", i), plans[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	units, err := d1.Queue().Pull("w-old", 3)
+	if err != nil || len(units) != 3 {
+		t.Fatalf("pull = %v, %v", units, err)
+	}
+	for _, u := range units[:2] {
+		counts, err := runUnit(&u.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := d1.Queue().Result("w-old", u.Seq, u.Attempt, counts, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv1.Close()
+	if err := d1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart on the same directory.
+	d2, srv2, cl2 := startDispatcher(t, dir, start, end)
+	defer func() {
+		srv2.Close()
+		_ = d2.Close()
+	}()
+	if !d2.Recovered() {
+		t.Fatal("restarted dispatcher does not report recovery")
+	}
+	st, err := cl2.Status()
+	if err != nil || st.Jobs != half || st.Done != 2 || st.Leased != 0 {
+		t.Fatalf("recovered status = %+v, %v", st, err)
+	}
+
+	// The load client re-drives the whole stream: first half dedupes,
+	// second half is new.
+	dups := 0
+	for i, p := range plans {
+		resp, err := cl2.Submit(fmt.Sprintf("load/%d", i), p)
+		if err != nil {
+			t.Fatalf("resubmit %d: %v", i, err)
+		}
+		if resp.Dup {
+			dups++
+		}
+		if resp.Seq != int64(i) {
+			t.Fatalf("resubmit %d landed at seq %d", i, resp.Seq)
+		}
+	}
+	if dups != half {
+		t.Fatalf("dups = %d, want %d", dups, half)
+	}
+	if err := cl2.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	stop := startWorkers(t, 2, srv2.URL)
+	defer stop()
+	waitDrained(t, cl2, len(plans))
+
+	gotCounts, err := cl2.CountsCSV(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotCounts, wantCounts) {
+		t.Error("counts CSV differs after mid-run restart")
+	}
+	gotTrace, err := cl2.TraceCSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotTrace, wantTrace) {
+		t.Error("trace CSV differs after mid-run restart")
+	}
+}
+
+// runUnit executes one unit the way a worker would.
+func runUnit(s *wire.Spec) (map[string]int, error) {
+	jobs, err := wire.BuildBatch(s)
+	if err != nil {
+		return nil, err
+	}
+	return wire.MergeBatch(qsim.BatchRun(jobs, qsim.Parallelism{}))
+}
+
+// TestDrainRejectsNewWorkLandsInFlight pins the dispatcher half of the
+// graceful-shutdown contract at the API level: draining rejects
+// submissions and stops granting leases, but an in-flight unit can
+// still heartbeat and land its result, after which the dispatcher
+// reports itself drained.
+func TestDrainRejectsNewWorkLandsInFlight(t *testing.T) {
+	_, plans, start, end := e2eWorkload(t)
+	d, srv, cl := startDispatcher(t, t.TempDir(), start, end)
+	defer func() {
+		srv.Close()
+		_ = d.Close()
+	}()
+
+	for i := 0; i < 2; i++ {
+		if _, err := cl.Submit(fmt.Sprintf("load/%d", i), plans[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	units, err := d.Queue().Pull("w0", 1)
+	if err != nil || len(units) != 1 {
+		t.Fatalf("pull = %v, %v", units, err)
+	}
+
+	d.BeginDrain()
+	if d.Drained() {
+		t.Fatal("drained with a lease in flight")
+	}
+	if _, err := cl.Submit("load/2", plans[2]); err == nil {
+		t.Fatal("draining dispatcher accepted a submission")
+	}
+	st, err := cl.Status()
+	if err != nil || !st.Draining {
+		t.Fatalf("status = %+v, %v", st, err)
+	}
+	// HTTP pulls grant nothing while draining (the second queued unit
+	// stays queued for the post-restart fleet)…
+	body, _ := json.Marshal(wire.PullRequest{V: wire.Version, Worker: "w1", Max: 4})
+	resp, err := http.Post(srv.URL+"/v1/pull", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pull wire.PullResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pull); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(pull.Units) != 0 {
+		t.Fatalf("draining dispatcher leased %d units", len(pull.Units))
+	}
+	// …but the in-flight unit still lands.
+	if n := d.Queue().Heartbeat("w0", []int64{units[0].Seq}); n != 1 {
+		t.Fatalf("heartbeat during drain extended %d", n)
+	}
+	counts, err := runUnit(&units[0].Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted, _, err := d.Queue().Result("w0", units[0].Seq, units[0].Attempt, counts, "")
+	if err != nil || !accepted {
+		t.Fatalf("result during drain = (%v, %v)", accepted, err)
+	}
+	if !d.Drained() {
+		t.Fatal("not drained after the in-flight unit landed")
+	}
+}

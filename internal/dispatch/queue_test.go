@@ -1,0 +1,313 @@
+package dispatch
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"qcloud/internal/cloud"
+	"qcloud/internal/dispatch/wire"
+	"qcloud/internal/workload"
+)
+
+// testPlans builds a small deterministic workload's exec plans.
+func testPlans(t *testing.T, seed int64, jobs int) []wire.Spec {
+	t.Helper()
+	start := time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC)
+	specs := workload.Generate(workload.Config{
+		Seed: seed, TotalJobs: jobs,
+		Start: start, End: start.Add(30 * 24 * time.Hour),
+	})
+	if len(specs) == 0 {
+		t.Fatal("empty workload")
+	}
+	caps := wire.ExecCaps{MaxWidth: 4, MaxBatch: 1, MaxShots: 16}
+	plans := make([]wire.Spec, len(specs))
+	for i, js := range specs {
+		plans[i] = wire.Plan(js, caps, seed, i)
+	}
+	return plans
+}
+
+// fakeClock is an injectable, manually-advanced wall clock.
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) Now() time.Time          { return c.now }
+func (c *fakeClock) Advance(d time.Duration) { c.now = c.now.Add(d) }
+
+func openTestQueue(t *testing.T, dir string, clk *fakeClock, events *[]wire.Event) *Queue {
+	t.Helper()
+	cfg := QueueConfig{
+		Dir:   dir,
+		Seed:  11,
+		Lease: time.Second,
+		Retry: &cloud.RetryPolicy{MaxAttempts: 2, BaseBackoff: 10 * time.Millisecond, MaxBackoff: 20 * time.Millisecond},
+	}
+	if clk != nil {
+		cfg.Now = clk.Now
+	}
+	if events != nil {
+		cfg.OnEvent = func(ev wire.Event) { *events = append(*events, ev) }
+	}
+	q, err := OpenQueue(cfg)
+	if err != nil {
+		t.Fatalf("OpenQueue: %v", err)
+	}
+	return q
+}
+
+func TestQueueSubmitIdempotentAndSeal(t *testing.T) {
+	plans := testPlans(t, 3, 10)
+	q := openTestQueue(t, t.TempDir(), nil, nil)
+	defer q.Close()
+
+	seq0, dup, err := q.Submit("c/0", plans[0])
+	if err != nil || dup || seq0 != 0 {
+		t.Fatalf("first submit = (%d, %v, %v)", seq0, dup, err)
+	}
+	again, dup, err := q.Submit("c/0", plans[0])
+	if err != nil || !dup || again != seq0 {
+		t.Fatalf("duplicate submit = (%d, %v, %v), want (0, true, nil)", again, dup, err)
+	}
+	if _, _, err := q.Submit("c/1", plans[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := q.Submit("c/2", plans[2]); err != ErrSealed {
+		t.Fatalf("post-seal submit err = %v, want ErrSealed", err)
+	}
+	// Sealed duplicates still resolve: the load client may re-send
+	// after a restart that happened post-seal.
+	if _, dup, err := q.Submit("c/1", plans[1]); err != nil || !dup {
+		t.Fatalf("post-seal duplicate = (%v, %v), want (true, nil)", dup, err)
+	}
+	if st := q.Stats(); st.Jobs != 2 || !st.Sealed {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestQueueLeaseExpiryRequeuesThenFails(t *testing.T) {
+	plans := testPlans(t, 3, 10)
+	clk := &fakeClock{now: time.Unix(1_700_000_000, 0)}
+	var events []wire.Event
+	q := openTestQueue(t, t.TempDir(), clk, &events)
+	defer q.Close()
+
+	if _, _, err := q.Submit("c/0", plans[0]); err != nil {
+		t.Fatal(err)
+	}
+	units, err := q.Pull("w1", 4)
+	if err != nil || len(units) != 1 || units[0].Attempt != 0 {
+		t.Fatalf("pull = %v, %v", units, err)
+	}
+	// Heartbeats keep the lease alive across the nominal deadline.
+	clk.Advance(900 * time.Millisecond)
+	if n := q.Heartbeat("w1", []int64{0}); n != 1 {
+		t.Fatalf("heartbeat extended %d, want 1", n)
+	}
+	clk.Advance(900 * time.Millisecond)
+	if st := q.Stats(); st.Leased != 1 {
+		t.Fatalf("lease lost despite heartbeat: %+v", st)
+	}
+
+	// Silence: the lease expires, attempt 1 is consumed, the unit
+	// requeues behind the retry backoff.
+	clk.Advance(2 * time.Second)
+	if st := q.Stats(); st.Queued != 1 || st.Leased != 0 {
+		t.Fatalf("after expiry: %+v", st)
+	}
+	// Not eligible until the backoff gate opens.
+	if units, _ := q.Pull("w2", 4); len(units) != 0 {
+		t.Fatalf("pulled %v before backoff opened", units)
+	}
+	clk.Advance(time.Second)
+	units, err = q.Pull("w2", 4)
+	if err != nil || len(units) != 1 || units[0].Attempt != 1 {
+		t.Fatalf("requeued pull = %v, %v (want attempt 1)", units, err)
+	}
+	// Second expiry exhausts MaxAttempts=2: terminal failure.
+	clk.Advance(5 * time.Second)
+	st := q.Stats()
+	if st.Failed != 1 || st.Queued != 0 || st.Leased != 0 {
+		t.Fatalf("after exhaustion: %+v", st)
+	}
+
+	var kinds []cloud.EventKind
+	for _, ev := range events {
+		kinds = append(kinds, ev.Kind)
+	}
+	want := []cloud.EventKind{
+		cloud.EventEnqueue, cloud.EventStart, cloud.EventRetry,
+		cloud.EventRequeue, cloud.EventStart, cloud.EventError,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("event kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("event %d = %s, want %s (all: %v)", i, kinds[i], want[i], kinds)
+		}
+	}
+}
+
+func TestQueueLateResultAfterExpiryAccepted(t *testing.T) {
+	plans := testPlans(t, 3, 10)
+	clk := &fakeClock{now: time.Unix(1_700_000_000, 0)}
+	q := openTestQueue(t, t.TempDir(), clk, nil)
+	defer q.Close()
+
+	if _, _, err := q.Submit("c/0", plans[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Pull("w1", 1); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(2 * time.Second) // lease expires, unit requeues
+	accepted, state, err := q.Result("w1", 0, 0, map[string]int{"00": 16}, "")
+	if err != nil || !accepted || state != TaskDone {
+		t.Fatalf("late result = (%v, %v, %v)", accepted, state, err)
+	}
+	// A duplicate report of the now-terminal unit is dropped.
+	accepted, state, err = q.Result("w2", 0, 1, map[string]int{"00": 16}, "")
+	if err != nil || accepted || state != TaskDone {
+		t.Fatalf("duplicate result = (%v, %v, %v)", accepted, state, err)
+	}
+	if st := q.Stats(); st.Done != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestQueueReopenRestoresStateAndForgetsLeases(t *testing.T) {
+	plans := testPlans(t, 3, 20)
+	dir := t.TempDir()
+	q := openTestQueue(t, dir, nil, nil)
+	if q.Recovered() {
+		t.Fatal("fresh queue claims recovery")
+	}
+	for i, p := range plans[:6] {
+		if _, _, err := q.Submit(key(t, i), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One done, one failed, one cancelled, one leased, two queued.
+	if _, err := q.Pull("w1", 2); err != nil { // leases seq 0,1
+		t.Fatal(err)
+	}
+	if _, _, err := q.Result("w1", 0, 0, map[string]int{"0000": 16}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := q.Result("w1", 1, 0, nil, "deterministic build failure"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := q.Cancel("", 2); err != nil {
+		t.Fatal(err)
+	}
+	if units, err := q.Pull("w1", 1); err != nil || len(units) != 1 || units[0].Seq != 3 {
+		t.Fatalf("lease pull = %v, %v", units, err)
+	}
+	if err := q.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openTestQueue(t, dir, nil, nil)
+	defer r.Close()
+	if !r.Recovered() {
+		t.Fatal("reopened queue does not report recovery")
+	}
+	st := r.Stats()
+	if st.Jobs != 6 || st.Done != 1 || st.Failed != 1 || st.Cancelled != 1 ||
+		st.Leased != 0 || st.Queued != 3 || !st.Sealed {
+		t.Fatalf("recovered stats = %+v", st)
+	}
+	// The idempotency index survives replay.
+	if _, dup, err := r.Submit(key(t, 4), plans[4]); err != nil || !dup {
+		t.Fatalf("post-recovery duplicate = (%v, %v)", dup, err)
+	}
+	// The completed counts survive byte-exactly.
+	res, ok := r.Results().Get(0)
+	if !ok || res.Counts["0000"] != 16 {
+		t.Fatalf("recovered result = %+v, %v", res, ok)
+	}
+}
+
+func key(t *testing.T, i int) string {
+	t.Helper()
+	return "c/" + string(rune('0'+i))
+}
+
+func TestQueueWatermarkViolationRefusesRecovery(t *testing.T) {
+	plans := testPlans(t, 3, 10)
+	dir := t.TempDir()
+	q := openTestQueue(t, dir, nil, nil)
+	for i, p := range plans[:3] {
+		if _, _, err := q.Submit(key(t, i), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := q.Pull("w1", 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := q.Result("w1", 0, 0, map[string]int{"00": 1}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Close(); err != nil { // checkpoint pins both streams
+		t.Fatal(err)
+	}
+
+	// Losing a whole journaled stream is not a crash tail: the
+	// checkpoint watermark must refuse to silently un-happen acked
+	// completions.
+	segs, err := filepath.Glob(filepath.Join(dir, resultsDirName, "*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no result segments: %v %v", segs, err)
+	}
+	for _, s := range segs {
+		if err := os.Remove(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := OpenQueue(QueueConfig{Dir: dir, Seed: 11}); err == nil {
+		t.Fatal("recovery succeeded despite completion log loss")
+	}
+}
+
+func TestQueueTornTailTolerated(t *testing.T) {
+	plans := testPlans(t, 3, 10)
+	dir := t.TempDir()
+	q := openTestQueue(t, dir, nil, nil)
+	for i, p := range plans[:3] {
+		if _, _, err := q.Submit(key(t, i), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A crash can tear the tail of the last frame; garbage past the
+	// valid prefix must not block recovery. (Anything before the
+	// checkpoint watermark is covered by the previous test.)
+	segs, err := filepath.Glob(filepath.Join(dir, submitsDirName, "*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no submit segments: %v %v", segs, err)
+	}
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r := openTestQueue(t, dir, nil, nil)
+	defer r.Close()
+	if st := r.Stats(); st.Jobs != 3 {
+		t.Fatalf("recovered stats = %+v", st)
+	}
+}

@@ -1,0 +1,462 @@
+package dispatch
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"qcloud/internal/cloud"
+	"qcloud/internal/dispatch/wire"
+	"qcloud/internal/trace"
+)
+
+// eventRingCap bounds the in-memory observable event stream. The ring
+// is best-effort observability (and empties on restart); the WALs are
+// the durable record.
+const eventRingCap = 1 << 16
+
+// Config parameterizes a Dispatcher.
+type Config struct {
+	// Dir, Seed, Lease, Retry, CheckpointEvery, SyncEvery, Now pass
+	// through to the queue.
+	Dir             string
+	Seed            int64
+	Lease           time.Duration
+	Retry           *cloud.RetryPolicy
+	CheckpointEvery int
+	SyncEvery       int
+	Now             func() time.Time
+
+	// Start/End bound the embedded trace-plane session (defaults: the
+	// study window). SimWorkers is its per-machine fan-out — the trace
+	// is bit-identical at any value.
+	Start, End time.Time
+	SimWorkers int
+}
+
+// Dispatcher is the queue-owning daemon: it accepts submissions,
+// leases units to pulling workers, merges their results, and — once
+// the stream is sealed — replays the submissions through an embedded
+// deterministic cloud.Session to produce the trace-plane result.
+//
+// Determinism contract: both result CSVs are pure functions of (seed,
+// sealed submission stream, cancellations). The trace CSV is exactly
+// what cloud.Simulate produces in-process for the same specs; the
+// counts CSV is exactly what wire.RunLocal produces. Worker count,
+// join/leave order, lease churn, duplicate reports, and dispatcher
+// SIGKILL + recovery are all invisible in the bytes.
+type Dispatcher struct {
+	cfg Config
+	q   *Queue
+
+	mu       sync.Mutex
+	draining bool
+	workers  map[string]time.Time // name → last seen
+
+	evMu    sync.Mutex
+	evBase  int64 // stream index of events[0]
+	events  []wire.Event
+	evTrunc bool
+
+	traceMu   sync.Mutex
+	traceCSV  []byte // computed once after seal
+	traceErr  error
+	traceDone bool
+}
+
+// New opens the dispatcher's durable queue (recovering any prior
+// state) and returns the daemon.
+func New(cfg Config) (*Dispatcher, error) {
+	d := &Dispatcher{cfg: cfg, workers: make(map[string]time.Time)}
+	qcfg := QueueConfig{
+		Dir:             cfg.Dir,
+		Seed:            cfg.Seed,
+		Lease:           cfg.Lease,
+		Retry:           cfg.Retry,
+		CheckpointEvery: cfg.CheckpointEvery,
+		SyncEvery:       cfg.SyncEvery,
+		Now:             cfg.Now,
+		OnEvent:         d.appendEvent,
+	}
+	q, err := OpenQueue(qcfg)
+	if err != nil {
+		return nil, err
+	}
+	d.q = q
+	return d, nil
+}
+
+// Recovered reports whether New replayed pre-existing queue state.
+func (d *Dispatcher) Recovered() bool { return d.q.Recovered() }
+
+// appendEvent feeds the observable ring (the queue's OnEvent hook).
+func (d *Dispatcher) appendEvent(ev wire.Event) {
+	d.evMu.Lock()
+	defer d.evMu.Unlock()
+	d.events = append(d.events, ev)
+	if over := len(d.events) - eventRingCap; over > 0 {
+		d.events = append(d.events[:0], d.events[over:]...)
+		d.evBase += int64(over)
+		d.evTrunc = true
+	}
+}
+
+// BeginDrain puts the dispatcher into graceful-shutdown mode: new
+// submissions are rejected and no new leases are granted, but
+// heartbeats, results, and reads keep flowing so in-flight workers can
+// land their units.
+func (d *Dispatcher) BeginDrain() {
+	d.mu.Lock()
+	d.draining = true
+	d.mu.Unlock()
+}
+
+// Draining reports drain mode.
+func (d *Dispatcher) Draining() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.draining
+}
+
+// Drained reports whether no leases remain in flight.
+func (d *Dispatcher) Drained() bool {
+	return d.q.Stats().Leased == 0
+}
+
+// Close checkpoints and seals the queue's journal streams.
+func (d *Dispatcher) Close() error { return d.q.Close() }
+
+// Queue exposes the underlying queue (tests and embedding).
+func (d *Dispatcher) Queue() *Queue { return d.q }
+
+// Stats returns the live status summary.
+func (d *Dispatcher) Stats() wire.StatusResponse {
+	st := d.q.Stats()
+	d.mu.Lock()
+	names := make([]string, 0, len(d.workers))
+	for n := range d.workers {
+		names = append(names, n)
+	}
+	draining := d.draining
+	d.mu.Unlock()
+	sort.Strings(names)
+	return wire.StatusResponse{
+		V:         wire.Version,
+		Sealed:    st.Sealed,
+		Draining:  draining,
+		Jobs:      st.Jobs,
+		Queued:    st.Queued,
+		Leased:    st.Leased,
+		Done:      st.Done,
+		Failed:    st.Failed,
+		Cancelled: st.Cancelled,
+		Workers:   names,
+		Recovered: d.q.Recovered(),
+	}
+}
+
+// TraceCSV runs the embedded deterministic session over the sealed
+// submission stream (once; cached) and returns the trace-plane CSV.
+func (d *Dispatcher) TraceCSV() ([]byte, error) {
+	if !d.q.Sealed() {
+		return nil, errors.New("dispatch: trace requires a sealed submission stream")
+	}
+	d.traceMu.Lock()
+	defer d.traceMu.Unlock()
+	if d.traceDone {
+		return d.traceCSV, d.traceErr
+	}
+	d.traceCSV, d.traceErr = d.runTrace()
+	d.traceDone = true
+	return d.traceCSV, d.traceErr
+}
+
+// runTrace is the trace-plane replay: submit every spec in seq order
+// to a fresh session (cancelling the cancelled ones), run the window,
+// and serialize — byte-identical to cloud.Simulate of the same specs.
+func (d *Dispatcher) runTrace() ([]byte, error) {
+	specs, cancelled := d.q.TraceInputs()
+	sess, err := cloud.Open(cloud.Config{
+		Seed:    d.cfg.Seed,
+		Start:   d.cfg.Start,
+		End:     d.cfg.End,
+		Workers: d.cfg.SimWorkers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+	for i := range specs {
+		h, err := sess.SubmitRetried(specs[i].JobSpec(), 0)
+		if err != nil {
+			return nil, err
+		}
+		if cancelled[i] {
+			if err := sess.Cancel(h); err != nil {
+				return nil, err
+			}
+		}
+	}
+	tr, err := sess.Run()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteCSV(&buf, tr.Jobs); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// CountsCSV merges the counts plane. Unless partial is set it requires
+// every task terminal, so the bytes are the run's final answer.
+func (d *Dispatcher) CountsCSV(partial bool) ([]byte, error) {
+	st := d.q.Stats()
+	if !partial {
+		if !st.Sealed {
+			return nil, errors.New("dispatch: counts require a sealed submission stream")
+		}
+		if st.Terminal() != st.Jobs {
+			return nil, fmt.Errorf("dispatch: counts incomplete: %d/%d terminal", st.Terminal(), st.Jobs)
+		}
+	}
+	var buf bytes.Buffer
+	if err := d.q.Results().WriteCSV(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// --- HTTP plumbing -------------------------------------------------------
+
+// Handler returns the dispatcher's HTTP API.
+func (d *Dispatcher) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/submit", d.handleSubmit)
+	mux.HandleFunc("POST /v1/seal", d.handleSeal)
+	mux.HandleFunc("POST /v1/register", d.handleRegister)
+	mux.HandleFunc("POST /v1/deregister", d.handleDeregister)
+	mux.HandleFunc("POST /v1/pull", d.handlePull)
+	mux.HandleFunc("POST /v1/heartbeat", d.handleHeartbeat)
+	mux.HandleFunc("POST /v1/result", d.handleResult)
+	mux.HandleFunc("POST /v1/cancel", d.handleCancel)
+	mux.HandleFunc("GET /v1/status", d.handleStatus)
+	mux.HandleFunc("GET /v1/events", d.handleEvents)
+	mux.HandleFunc("GET /v1/result/trace", d.handleTraceCSV)
+	mux.HandleFunc("GET /v1/result/counts", d.handleCountsCSV)
+	return mux
+}
+
+// decode parses a versioned JSON body.
+func decode[T interface{ version() int }](w http.ResponseWriter, r *http.Request, dst T) bool {
+	if err := json.NewDecoder(r.Body).Decode(dst); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return false
+	}
+	if err := wire.CheckVersion(dst.version()); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return false
+	}
+	return true
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(wire.GenericResponse{V: wire.Version, Err: msg})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (d *Dispatcher) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitReq
+	if !decode(w, r, &req) {
+		return
+	}
+	if d.Draining() {
+		httpError(w, http.StatusServiceUnavailable, "dispatcher is draining")
+		return
+	}
+	seq, dup, err := d.q.Submit(req.Key, req.Spec)
+	if errors.Is(err, ErrSealed) {
+		httpError(w, http.StatusConflict, err.Error())
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, wire.SubmitResponse{V: wire.Version, Seq: seq, Dup: dup})
+}
+
+func (d *Dispatcher) handleSeal(w http.ResponseWriter, r *http.Request) {
+	var req sealReq
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := d.q.Seal(); err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, wire.GenericResponse{V: wire.Version})
+}
+
+func (d *Dispatcher) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerReq
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Name == "" {
+		httpError(w, http.StatusBadRequest, "worker name required")
+		return
+	}
+	d.mu.Lock()
+	d.workers[req.Name] = time.Now()
+	d.mu.Unlock()
+	writeJSON(w, wire.GenericResponse{V: wire.Version})
+}
+
+func (d *Dispatcher) handleDeregister(w http.ResponseWriter, r *http.Request) {
+	var req registerReq
+	if !decode(w, r, &req) {
+		return
+	}
+	d.mu.Lock()
+	delete(d.workers, req.Name)
+	d.mu.Unlock()
+	writeJSON(w, wire.GenericResponse{V: wire.Version})
+}
+
+func (d *Dispatcher) handlePull(w http.ResponseWriter, r *http.Request) {
+	var req pullReq
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Worker == "" {
+		httpError(w, http.StatusBadRequest, "worker name required")
+		return
+	}
+	resp := wire.PullResponse{V: wire.Version, Sealed: d.q.Sealed()}
+	if !d.Draining() {
+		units, err := d.q.Pull(req.Worker, req.Max)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		resp.Units = units
+		d.mu.Lock()
+		d.workers[req.Worker] = time.Now()
+		d.mu.Unlock()
+	}
+	writeJSON(w, resp)
+}
+
+func (d *Dispatcher) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req heartbeatReq
+	if !decode(w, r, &req) {
+		return
+	}
+	n := d.q.Heartbeat(req.Worker, req.Seqs)
+	writeJSON(w, wire.HeartbeatResponse{V: wire.Version, Extended: n})
+}
+
+func (d *Dispatcher) handleResult(w http.ResponseWriter, r *http.Request) {
+	var req resultReq
+	if !decode(w, r, &req) {
+		return
+	}
+	accepted, state, err := d.q.Result(req.Worker, req.Seq, req.Attempt, wire.PairsToCounts(req.Counts), req.Err)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, wire.ResultResponse{V: wire.Version, Accepted: accepted, State: state.String()})
+}
+
+func (d *Dispatcher) handleCancel(w http.ResponseWriter, r *http.Request) {
+	var req cancelReq
+	if !decode(w, r, &req) {
+		return
+	}
+	accepted, state, err := d.q.Cancel(req.Key, req.Seq)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, wire.ResultResponse{V: wire.Version, Accepted: accepted, State: state.String()})
+}
+
+func (d *Dispatcher) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, d.Stats())
+}
+
+func (d *Dispatcher) handleEvents(w http.ResponseWriter, r *http.Request) {
+	var since int64
+	if s := r.URL.Query().Get("since"); s != "" {
+		if _, err := fmt.Sscanf(s, "%d", &since); err != nil {
+			httpError(w, http.StatusBadRequest, "bad since cursor")
+			return
+		}
+	}
+	d.evMu.Lock()
+	resp := wire.EventsResponse{V: wire.Version}
+	if since < d.evBase {
+		resp.Truncated = d.evTrunc || since < d.evBase
+		since = d.evBase
+	}
+	if idx := since - d.evBase; idx < int64(len(d.events)) {
+		resp.Events = append([]wire.Event(nil), d.events[idx:]...)
+	}
+	resp.Next = d.evBase + int64(len(d.events))
+	d.evMu.Unlock()
+	writeJSON(w, resp)
+}
+
+func (d *Dispatcher) handleTraceCSV(w http.ResponseWriter, r *http.Request) {
+	csv, err := d.TraceCSV()
+	if err != nil {
+		httpError(w, http.StatusConflict, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	_, _ = w.Write(csv)
+}
+
+func (d *Dispatcher) handleCountsCSV(w http.ResponseWriter, r *http.Request) {
+	partial := r.URL.Query().Get("partial") == "1"
+	csv, err := d.CountsCSV(partial)
+	if err != nil {
+		httpError(w, http.StatusConflict, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	_, _ = w.Write(csv)
+}
+
+// Version-probe wrappers so decode can enforce the protocol version
+// without reflection.
+type (
+	submitReq    struct{ wire.SubmitRequest }
+	sealReq      struct{ wire.SealRequest }
+	registerReq  struct{ wire.RegisterRequest }
+	pullReq      struct{ wire.PullRequest }
+	heartbeatReq struct{ wire.HeartbeatRequest }
+	resultReq    struct{ wire.ResultRequest }
+	cancelReq    struct{ wire.CancelRequest }
+)
+
+func (r *submitReq) version() int    { return r.V }
+func (r *sealReq) version() int      { return r.V }
+func (r *registerReq) version() int  { return r.V }
+func (r *pullReq) version() int      { return r.V }
+func (r *heartbeatReq) version() int { return r.V }
+func (r *resultReq) version() int    { return r.V }
+func (r *cancelReq) version() int    { return r.V }

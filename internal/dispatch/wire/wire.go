@@ -1,0 +1,351 @@
+// Package wire defines the dispatcher's versioned JSON wire protocol
+// and the deterministic execution-payload builders shared by the
+// dispatcher, the workers, and the load client.
+//
+// The package splits the service decomposition along the determinism
+// boundary: everything here — message schemas, the WAL record
+// envelope, the spec → trajectory-batch expansion, the counts
+// canonicalization feeding the merged CSV — must be bit-identical
+// across hosts, worker counts, and restarts, so the package joins
+// lint.DeterministicPackages (no wall clock, no global rand, no
+// order-dependent map iteration). The daemons' operational code
+// (listeners, lease timers, heartbeats) lives one level up in
+// internal/dispatch and is deliberately outside that scope.
+//
+// The event taxonomy is cloud.EventKind verbatim: a dispatcher event
+// stream is read with the same vocabulary as an in-process
+// Session.Observe stream (enqueue, start, done, error, cancel, retry,
+// requeue).
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"qcloud/internal/cloud"
+)
+
+// Version is the wire-protocol version. Every HTTP body and every WAL
+// record carries it; both sides reject other versions loudly rather
+// than guessing.
+const Version = 1
+
+// Spec is one submission: the trace-plane JobSpec the dispatcher's
+// embedded deterministic session replays, plus the exec plan the
+// workers execute as a qsim.BatchRun payload. The exec plan is derived
+// from the JobSpec by Plan with capped width/batch/shots (study-scale
+// circuits are queue-model entities, not statevector payloads).
+type Spec struct {
+	// Trace plane — mirrors cloud.JobSpec field for field. time.Time
+	// round-trips RFC3339-nano in UTC, so replaying a decoded Spec
+	// through cloud.Simulate is bit-identical to submitting the
+	// original.
+	SubmitTime   time.Time `json:"submit_time"`
+	User         string    `json:"user"`
+	Machine      string    `json:"machine"`
+	BatchSize    int       `json:"batch_size"`
+	Shots        int       `json:"shots"`
+	CircuitName  string    `json:"circuit_name"`
+	Width        int       `json:"width"`
+	TotalDepth   int       `json:"total_depth"`
+	TotalGateOps int       `json:"total_gate_ops"`
+	CXTotal      int       `json:"cx_total"`
+	MemSlots     int       `json:"mem_slots"`
+	PatienceSec  float64   `json:"patience_sec,omitempty"`
+	Privileged   bool      `json:"privileged,omitempty"`
+
+	// Exec plane — the worker-side trajectory batch.
+	ExecKind  string `json:"exec_kind"`
+	ExecWidth int    `json:"exec_width"`
+	ExecBatch int    `json:"exec_batch"`
+	ExecShots int    `json:"exec_shots"`
+	ExecSeed  int64  `json:"exec_seed"`
+}
+
+// JobSpec converts the trace plane back into the session's submission
+// type.
+func (s *Spec) JobSpec() *cloud.JobSpec {
+	return &cloud.JobSpec{
+		SubmitTime:   s.SubmitTime,
+		User:         s.User,
+		Machine:      s.Machine,
+		BatchSize:    s.BatchSize,
+		Shots:        s.Shots,
+		CircuitName:  s.CircuitName,
+		Width:        s.Width,
+		TotalDepth:   s.TotalDepth,
+		TotalGateOps: s.TotalGateOps,
+		CXTotal:      s.CXTotal,
+		MemSlots:     s.MemSlots,
+		PatienceSec:  s.PatienceSec,
+		Privileged:   s.Privileged,
+	}
+}
+
+// ExecLabel names the exec-plane circuit family the way workload names
+// trace circuits (kind + width).
+func (s *Spec) ExecLabel() string {
+	return fmt.Sprintf("%s%d", s.ExecKind, s.ExecWidth)
+}
+
+// Count is one bitstring tally. Counts cross the wire and the WAL as
+// sorted []Count rather than map[string]int so every serialization of
+// the same result is byte-identical.
+type Count struct {
+	Bits string `json:"bits"`
+	N    int    `json:"n"`
+}
+
+// Event mirrors cloud.Event for the dispatcher's observable stream.
+// Seq is the dispatcher-assigned submission sequence (the analogue of
+// a session job ID), Attempt the lease attempt it describes.
+type Event struct {
+	Kind    cloud.EventKind `json:"kind"`
+	Seq     int64           `json:"seq"`
+	Attempt int             `json:"attempt"`
+	Worker  string          `json:"worker,omitempty"`
+	Err     string          `json:"err,omitempty"`
+	// At is daemon wall time, informational only — nothing
+	// deterministic may derive from it.
+	At time.Time `json:"at"`
+	// NextAttemptAt accompanies requeue events: when the retried lease
+	// becomes eligible again.
+	NextAttemptAt time.Time `json:"next_attempt_at,omitempty"`
+}
+
+// --- HTTP message bodies -------------------------------------------------
+
+// SubmitRequest submits one Spec. Key is the client's idempotency key:
+// resubmitting the same key returns the original seq with Dup set, so
+// a load client can blindly retry across dispatcher restarts.
+type SubmitRequest struct {
+	V    int    `json:"v"`
+	Key  string `json:"key"`
+	Spec Spec   `json:"spec"`
+}
+
+type SubmitResponse struct {
+	V   int   `json:"v"`
+	Seq int64 `json:"seq"`
+	Dup bool  `json:"dup,omitempty"`
+}
+
+// SealRequest marks the submission stream complete: no further submits
+// are accepted and the trace-plane result becomes computable.
+type SealRequest struct {
+	V int `json:"v"`
+}
+
+// RegisterRequest registers or deregisters a worker by name.
+type RegisterRequest struct {
+	V    int    `json:"v"`
+	Name string `json:"name"`
+}
+
+// PullRequest asks for up to Max leased units.
+type PullRequest struct {
+	V      int    `json:"v"`
+	Worker string `json:"worker"`
+	Max    int    `json:"max"`
+}
+
+// Unit is one leased unit of work: run the Spec's exec plan through
+// qsim.BatchRun and report the merged counts before the lease expires.
+type Unit struct {
+	Seq     int64 `json:"seq"`
+	Attempt int   `json:"attempt"`
+	Spec    Spec  `json:"spec"`
+	// LeaseSec is the lease duration in seconds; workers heartbeat a
+	// few times per lease interval.
+	LeaseSec float64 `json:"lease_sec"`
+}
+
+type PullResponse struct {
+	V int `json:"v"`
+	// Sealed tells an idle worker whether more work can still arrive.
+	Sealed bool   `json:"sealed"`
+	Units  []Unit `json:"units"`
+}
+
+// HeartbeatRequest extends the leases the worker still holds.
+type HeartbeatRequest struct {
+	V      int     `json:"v"`
+	Worker string  `json:"worker"`
+	Seqs   []int64 `json:"seqs"`
+}
+
+type HeartbeatResponse struct {
+	V int `json:"v"`
+	// Extended counts the leases that were still held by this worker
+	// and got their deadlines pushed out; a shortfall tells the worker
+	// some leases already expired.
+	Extended int `json:"extended"`
+}
+
+// ResultRequest reports one finished unit. Err non-empty means the
+// payload itself failed deterministically (build or simulation error).
+type ResultRequest struct {
+	V       int     `json:"v"`
+	Worker  string  `json:"worker"`
+	Seq     int64   `json:"seq"`
+	Attempt int     `json:"attempt"`
+	Counts  []Count `json:"counts,omitempty"`
+	Err     string  `json:"err,omitempty"`
+}
+
+type ResultResponse struct {
+	V int `json:"v"`
+	// Accepted is false when the task already reached a terminal state
+	// (duplicate or post-cancel report); the dispatcher kept its first
+	// outcome.
+	Accepted bool   `json:"accepted"`
+	State    string `json:"state"`
+}
+
+// CancelRequest cancels by idempotency key or by seq (key wins when
+// both are set).
+type CancelRequest struct {
+	V   int    `json:"v"`
+	Key string `json:"key,omitempty"`
+	Seq int64  `json:"seq,omitempty"`
+}
+
+// GenericResponse acknowledges requests with no payload.
+type GenericResponse struct {
+	V   int    `json:"v"`
+	Err string `json:"err,omitempty"`
+}
+
+// StatusResponse is the dispatcher's live state summary.
+type StatusResponse struct {
+	V         int      `json:"v"`
+	Sealed    bool     `json:"sealed"`
+	Draining  bool     `json:"draining"`
+	Jobs      int      `json:"jobs"`
+	Queued    int      `json:"queued"`
+	Leased    int      `json:"leased"`
+	Done      int      `json:"done"`
+	Failed    int      `json:"failed"`
+	Cancelled int      `json:"cancelled"`
+	Workers   []string `json:"workers,omitempty"`
+	Recovered bool     `json:"recovered,omitempty"`
+}
+
+// Terminal reports how many tasks have reached a terminal state.
+func (s *StatusResponse) Terminal() int { return s.Done + s.Failed + s.Cancelled }
+
+// EventsResponse pages the observable event stream. Next is the cursor
+// for the following request. The stream is a bounded in-memory ring:
+// Truncated reports that events before the returned window were
+// dropped (or lost to a restart) — observability is best-effort, the
+// WALs are the durable record.
+type EventsResponse struct {
+	V         int     `json:"v"`
+	Next      int64   `json:"next"`
+	Truncated bool    `json:"truncated,omitempty"`
+	Events    []Event `json:"events"`
+}
+
+// --- WAL record envelope -------------------------------------------------
+
+// Record types appearing in the dispatcher's journals. The submit log
+// carries submit/seal; the completion log carries expire/result/cancel.
+const (
+	RecSubmit = "submit"
+	RecSeal   = "seal"
+	RecExpire = "expire"
+	RecResult = "result"
+	RecCancel = "cancel"
+)
+
+// Envelope frames one WAL record: a version, a type tag, and the
+// type's own JSON payload.
+type Envelope struct {
+	V    int             `json:"v"`
+	Type string          `json:"type"`
+	Data json.RawMessage `json:"data"`
+}
+
+// SubmitRec journals one accepted submission.
+type SubmitRec struct {
+	Seq  int64  `json:"seq"`
+	Key  string `json:"key"`
+	Spec Spec   `json:"spec"`
+}
+
+// SealRec journals the submission stream's seal.
+type SealRec struct{}
+
+// ExpireRec journals one lease expiry: the attempt that was lost.
+type ExpireRec struct {
+	Seq     int64 `json:"seq"`
+	Attempt int   `json:"attempt"`
+}
+
+// ResultRec journals one terminal execution outcome.
+type ResultRec struct {
+	Seq     int64   `json:"seq"`
+	Attempt int     `json:"attempt"`
+	Worker  string  `json:"worker,omitempty"`
+	Counts  []Count `json:"counts,omitempty"`
+	Err     string  `json:"err,omitempty"`
+}
+
+// CancelRec journals one cancellation.
+type CancelRec struct {
+	Seq int64 `json:"seq"`
+}
+
+// EncodeRecord wraps a typed payload in a versioned envelope.
+func EncodeRecord(typ string, payload any) ([]byte, error) {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(Envelope{V: Version, Type: typ, Data: data})
+}
+
+// DecodeRecord unwraps an envelope, enforcing the version.
+func DecodeRecord(raw []byte) (*Envelope, error) {
+	var env Envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return nil, fmt.Errorf("wire: bad record: %w", err)
+	}
+	if env.V != Version {
+		return nil, fmt.Errorf("wire: record version %d, want %d", env.V, Version)
+	}
+	return &env, nil
+}
+
+// CheckVersion validates an HTTP body's version field.
+func CheckVersion(v int) error {
+	if v != Version {
+		return fmt.Errorf("wire: message version %d, want %d", v, Version)
+	}
+	return nil
+}
+
+// CountsToPairs canonicalizes a counts map into the sorted wire form.
+func CountsToPairs(m map[string]int) []Count {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	out := make([]Count, len(ks))
+	for i, k := range ks {
+		out[i] = Count{Bits: k, N: m[k]}
+	}
+	return out
+}
+
+// PairsToCounts inverts CountsToPairs.
+func PairsToCounts(cs []Count) map[string]int {
+	m := make(map[string]int, len(cs))
+	for _, c := range cs {
+		m[c.Bits] += c.N
+	}
+	return m
+}

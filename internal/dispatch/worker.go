@@ -1,0 +1,276 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"qcloud/internal/dispatch/wire"
+	"qcloud/internal/qsim"
+)
+
+// WorkerConfig parameterizes a pulling worker.
+type WorkerConfig struct {
+	// Server is the dispatcher's base URL (e.g. http://127.0.0.1:8042).
+	Server string
+	// Name identifies the worker to the dispatcher.
+	Name string
+	// MaxUnits bounds the units leased per pull (default 4). The whole
+	// pull executes as one qsim.BatchRun over a shared trajectory
+	// pool.
+	MaxUnits int
+	// SimWorkers is the BatchRun parallelism (0 = all cores).
+	SimWorkers int
+	// Poll is the idle wait between empty pulls (default 200ms).
+	Poll time.Duration
+	// RequestTimeout bounds each HTTP call (default 10s).
+	RequestTimeout time.Duration
+	// Client is the HTTP client (default http.DefaultClient).
+	Client *http.Client
+	// Logf, if set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	if c.MaxUnits <= 0 {
+		c.MaxUnits = 4
+	}
+	if c.Poll <= 0 {
+		c.Poll = 200 * time.Millisecond
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = http.DefaultClient
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Worker is the pulling daemon: register, lease units, heartbeat while
+// executing, report counts, repeat. Graceful-shutdown contract: when
+// the run context is cancelled the worker finishes the batch it is
+// executing, reports it, deregisters, and returns — so a SIGTERM'd
+// worker never wastes a lease. (A SIGKILL'd worker simply stops
+// heartbeating; the dispatcher's lease expiry requeues its units.)
+type Worker struct {
+	cfg   WorkerConfig
+	units atomic.Int64
+}
+
+// NewWorker validates the config and returns a Worker.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Server == "" || cfg.Name == "" {
+		return nil, fmt.Errorf("dispatch: worker needs Server and Name")
+	}
+	w := &Worker{cfg: cfg.withDefaults()}
+	return w, nil
+}
+
+// Units reports how many units this worker has completed.
+func (w *Worker) Units() int64 { return w.units.Load() }
+
+// post sends one versioned JSON request. Calls deliberately use their
+// own timeout context rather than the run context: a drain must still
+// be able to report the final batch after cancellation.
+func (w *Worker) post(path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), w.cfg.RequestTimeout)
+	defer cancel()
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.Server+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	res, err := w.cfg.Client.Do(hr)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(res.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if res.StatusCode != http.StatusOK {
+		var ge wire.GenericResponse
+		if json.Unmarshal(data, &ge) == nil && ge.Err != "" {
+			return fmt.Errorf("dispatch: %s: %s", path, ge.Err)
+		}
+		return fmt.Errorf("dispatch: %s: HTTP %d", path, res.StatusCode)
+	}
+	return json.Unmarshal(data, resp)
+}
+
+// Run drives the pull loop until ctx is cancelled (graceful exit) or a
+// non-recoverable error occurs. Transient dispatcher unavailability —
+// connection refused during a restart, timeouts — is retried
+// indefinitely: workers are designed to idle through dispatcher
+// crashes and reconnect.
+func (w *Worker) Run(ctx context.Context) error {
+	// Register, riding out an unreachable dispatcher.
+	for {
+		var resp wire.GenericResponse
+		err := w.post("/v1/register", wire.RegisterRequest{V: wire.Version, Name: w.cfg.Name}, &resp)
+		if err == nil {
+			break
+		}
+		w.cfg.Logf("register: %v (retrying)", err)
+		if !w.sleep(ctx) {
+			return nil
+		}
+	}
+	w.cfg.Logf("registered with %s", w.cfg.Server)
+	defer w.deregister()
+
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		var pull wire.PullResponse
+		err := w.post("/v1/pull", wire.PullRequest{V: wire.Version, Worker: w.cfg.Name, Max: w.cfg.MaxUnits}, &pull)
+		if err != nil {
+			w.cfg.Logf("pull: %v (retrying)", err)
+			if !w.sleep(ctx) {
+				return nil
+			}
+			continue
+		}
+		if len(pull.Units) == 0 {
+			if !w.sleep(ctx) {
+				return nil
+			}
+			continue
+		}
+		w.execute(pull.Units)
+	}
+}
+
+// sleep waits one poll interval, reporting false when ctx ended.
+func (w *Worker) sleep(ctx context.Context) bool {
+	select {
+	case <-ctx.Done():
+		return false
+	case <-time.After(w.cfg.Poll):
+		return true
+	}
+}
+
+func (w *Worker) deregister() {
+	var resp wire.GenericResponse
+	if err := w.post("/v1/deregister", wire.RegisterRequest{V: wire.Version, Name: w.cfg.Name}, &resp); err != nil {
+		w.cfg.Logf("deregister: %v", err)
+	} else {
+		w.cfg.Logf("deregistered")
+	}
+}
+
+// execute runs one leased batch end to end: heartbeats in the
+// background, one BatchRun across all units' jobs, one report per
+// unit.
+func (w *Worker) execute(units []wire.Unit) {
+	stopHB := w.startHeartbeats(units)
+	defer stopHB()
+
+	var jobs []qsim.BatchJob
+	spans := make([][2]int, len(units))
+	buildErr := make([]error, len(units))
+	for i := range units {
+		js, err := wire.BuildBatch(&units[i].Spec)
+		if err != nil {
+			buildErr[i] = err
+			spans[i] = [2]int{-1, -1}
+			continue
+		}
+		spans[i] = [2]int{len(jobs), len(jobs) + len(js)}
+		jobs = append(jobs, js...)
+	}
+	res := qsim.BatchRun(jobs, qsim.Parallelism{Workers: w.cfg.SimWorkers})
+
+	for i, u := range units {
+		var counts map[string]int
+		var errMsg string
+		if buildErr[i] != nil {
+			errMsg = buildErr[i].Error()
+		} else {
+			m, err := wire.MergeBatch(res[spans[i][0]:spans[i][1]])
+			if err != nil {
+				errMsg = err.Error()
+			} else {
+				counts = m
+			}
+		}
+		w.report(u, counts, errMsg)
+	}
+}
+
+// report delivers one unit's outcome, retrying through transient
+// dispatcher unavailability so a drain or restart cannot lose a
+// computed result.
+func (w *Worker) report(u wire.Unit, counts map[string]int, errMsg string) {
+	req := wire.ResultRequest{
+		V: wire.Version, Worker: w.cfg.Name,
+		Seq: u.Seq, Attempt: u.Attempt,
+		Counts: wire.CountsToPairs(counts), Err: errMsg,
+	}
+	for tries := 0; tries < 50; tries++ {
+		var resp wire.ResultResponse
+		err := w.post("/v1/result", req, &resp)
+		if err == nil {
+			w.units.Add(1)
+			if !resp.Accepted {
+				w.cfg.Logf("unit %d already %s (duplicate report dropped)", u.Seq, resp.State)
+			}
+			return
+		}
+		w.cfg.Logf("result %d: %v (retrying)", u.Seq, err)
+		time.Sleep(w.cfg.Poll)
+	}
+	w.cfg.Logf("unit %d: giving up on report; lease expiry will requeue it", u.Seq)
+}
+
+// startHeartbeats extends the batch's leases a few times per lease
+// interval until stopped.
+func (w *Worker) startHeartbeats(units []wire.Unit) (stop func()) {
+	leaseSec := units[0].LeaseSec
+	for _, u := range units {
+		if u.LeaseSec < leaseSec {
+			leaseSec = u.LeaseSec
+		}
+	}
+	every := time.Duration(leaseSec / 3 * float64(time.Second))
+	if every < 50*time.Millisecond {
+		every = 50 * time.Millisecond
+	}
+	seqs := make([]int64, len(units))
+	for i, u := range units {
+		seqs[i] = u.Seq
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				var resp wire.HeartbeatResponse
+				if err := w.post("/v1/heartbeat", wire.HeartbeatRequest{V: wire.Version, Worker: w.cfg.Name, Seqs: seqs}, &resp); err != nil {
+					w.cfg.Logf("heartbeat: %v", err)
+				}
+			}
+		}
+	}()
+	return func() { close(done) }
+}

@@ -140,6 +140,13 @@ var DeterministicPackages = []string{
 	"qcloud/internal/workload",
 	"qcloud/internal/journal",
 	"qcloud/internal/tenant",
+	// The dispatcher's wire/queue-ordering layer feeds the
+	// deterministic merge, so it carries the same contracts. Its parent
+	// qcloud/internal/dispatch — the daemons themselves — is
+	// deliberately NOT listed: lease deadlines and drain timeouts are
+	// real wall-clock concerns ("p" matches p and p/..., so listing the
+	// subpackage does not pull the parent in).
+	"qcloud/internal/dispatch/wire",
 }
 
 // Vet runs every applicable analyzer over the packages and returns all

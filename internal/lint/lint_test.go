@@ -158,6 +158,33 @@ func TestEventOrderTenantFixtures(t *testing.T) {
 	checkFixture(t, "eventorder_tenant_fixed", "qcloud/internal/tenant/lintfixture")
 }
 
+// The dispatch twin pins the service-decomposition boundary: the
+// wire/queue-ordering layer (qcloud/internal/dispatch/wire) carries
+// the deterministic-package contracts, while the daemon layer above
+// it (qcloud/internal/dispatch) keeps its wall clock for lease
+// deadlines and drain timeouts.
+func TestWallclockDispatchFixtures(t *testing.T) {
+	checkFixture(t, "wallclock_dispatch_broken", "qcloud/internal/dispatch/wire/lintfixture")
+	checkFixture(t, "wallclock_dispatch_fixed", "qcloud/internal/dispatch/wire/lintfixture")
+}
+
+// The same broken source claimed on the daemon side of the boundary
+// must go quiet: listing the wire subpackage in DeterministicPackages
+// must not pull its parent qcloud/internal/dispatch into scope.
+func TestWallclockDispatchDaemonSideQuiet(t *testing.T) {
+	pkg, err := sharedLoader(t).LoadDir("qcloud/internal/dispatch/lintfixture", filepath.Join("testdata", "src", "wallclock_dispatch_broken"))
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	diags, err := lint.Vet([]*lint.Pkg{pkg}, lint.Analyzers())
+	if err != nil {
+		t.Fatalf("Vet: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("daemon-side package still diagnosed: %s", d)
+	}
+}
+
 // TestScopeFiltering proves a broken fixture goes quiet when its
 // claimed path is outside the analyzer's scope — the wallclock fixture
 // under an unscoped path must yield only diagnostics from unscoped

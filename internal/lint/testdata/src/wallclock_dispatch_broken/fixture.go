@@ -1,0 +1,33 @@
+// Package fixture pins the service-decomposition lint boundary from
+// the inside: queue-ordering code that feeds the deterministic merge
+// (claimed under qcloud/internal/dispatch/wire/...) may not read the
+// wall clock — eligibility must be decided against an instant the
+// caller passes in. The same source claimed under the daemon package
+// qcloud/internal/dispatch/... must stay quiet (see the boundary test).
+package fixture
+
+import "time"
+
+type unit struct {
+	seq       int64
+	notBefore time.Time
+}
+
+// eligible selects the units whose backoff gate has opened — but reads
+// the clock itself, so two replicas of the merge layer could order the
+// same queue differently.
+func eligible(us []unit) []unit {
+	var out []unit
+	for _, u := range us {
+		if !u.notBefore.After(time.Now()) { // want `time.Now reads the wall clock in a simulation package`
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// leaseDeadline schedules off the wall clock in the deterministic
+// layer; deadlines belong to the daemon package.
+func leaseDeadline(lease time.Duration) <-chan time.Time {
+	return time.After(lease) // want `time.After reads the wall clock in a simulation package`
+}

@@ -1,0 +1,30 @@
+// Package fixture is the fixed twin of wallclock_dispatch_broken: the
+// wire/queue-ordering layer takes every instant as a parameter, so the
+// same sealed queue orders identically on any replica, and wall-clock
+// scheduling stays in the daemon package above.
+package fixture
+
+import "time"
+
+type unit struct {
+	seq       int64
+	notBefore time.Time
+}
+
+// eligible decides against a caller-supplied instant: the daemon reads
+// its clock once and the deterministic layer only compares.
+func eligible(us []unit, now time.Time) []unit {
+	var out []unit
+	for _, u := range us {
+		if !u.notBefore.After(now) {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// deadlineAfter derives a lease deadline from the supplied instant;
+// the timer that enforces it belongs to the daemon.
+func deadlineAfter(now time.Time, lease time.Duration) time.Time {
+	return now.Add(lease)
+}
